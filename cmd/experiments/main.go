@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's evaluation tables (§5.1
+// smvp case study, Figures 10, 11, 12, and the §5.2 heuristic-vs-profile
+// comparison) on the modelled SPEC2000 workloads.
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -exp fig10      # one table: smvp|fig10|fig11|fig12|heur|ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation")
+	flag.Parse()
+
+	var err error
+	switch *exp {
+	case "all":
+		err = experiments.Report(os.Stdout)
+	case "smvp":
+		var s experiments.Smvp
+		s, err = experiments.RunSmvp()
+		if err == nil {
+			experiments.PrintSmvp(os.Stdout, s)
+		}
+	case "fig10", "fig11", "fig12", "heur":
+		var rows []experiments.Row
+		rows, err = experiments.RunAll()
+		if err == nil {
+			switch *exp {
+			case "fig10":
+				experiments.PrintFig10(os.Stdout, rows)
+			case "fig11":
+				experiments.PrintFig11(os.Stdout, rows)
+			case "fig12":
+				experiments.PrintFig12(os.Stdout, rows)
+			case "heur":
+				experiments.PrintHeuristic(os.Stdout, rows)
+			}
+		}
+	case "sensitivity":
+		var rows []experiments.Sensitivity
+		rows, err = experiments.RunSensitivity()
+		if err == nil {
+			experiments.PrintSensitivity(os.Stdout, rows)
+		}
+	case "ablation":
+		err = ablation(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// ablation sweeps the design choices DESIGN.md calls out on equake and
+// mcf: data speculation off, control speculation off, arithmetic PRE off
+// (promotion only), and ALAT capacity.
+func ablation(out *os.File) error {
+	kernels := []string{"equake", "mcf"}
+	type cfgCase struct {
+		name string
+		cfg  repro.Config
+	}
+	for _, name := range kernels {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown workload %s", name)
+		}
+		fmt.Fprintf(out, "ablation on %s (cycles on ref input):\n", name)
+		cases := []cfgCase{
+			{"full (profile+control spec)", repro.Config{Spec: repro.SpecProfile}},
+			{"no data speculation", repro.Config{Spec: repro.SpecOff}},
+			{"no control speculation", repro.Config{Spec: repro.SpecProfile, NoControlSpec: true}},
+			{"loads only (no arith PRE)", repro.Config{Spec: repro.SpecProfile, NoArith: true}},
+			{"no PRE at all", repro.Config{OptimizeOff: true}},
+		}
+		for _, c := range cases {
+			c.cfg.ProfileArgs = w.ProfileArgs
+			comp, err := repro.Compile(w.Src, c.cfg)
+			if err != nil {
+				return err
+			}
+			res, err := comp.Run(w.RefArgs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  %-28s %10d cycles, %8d plain loads, %6d checks (%d failed)\n",
+				c.name, res.Counters.Cycles,
+				res.Counters.LoadsRetired-res.Counters.CheckLoads,
+				res.Counters.CheckLoads, res.Counters.FailedChecks)
+		}
+		// ALAT capacity sweep
+		for _, size := range []int{4, 8, 32, 128} {
+			cfg := repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs}
+			cfg.Machine = machine.Defaults()
+			cfg.Machine.ALATSize = size
+			comp, err := repro.Compile(w.Src, cfg)
+			if err != nil {
+				return err
+			}
+			res, err := comp.Run(w.RefArgs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  ALAT %3d entries: %10d cycles, %6d failed checks, %6d evictions\n",
+				size, res.Counters.Cycles, res.Counters.FailedChecks, res.Counters.ALATEvictions)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

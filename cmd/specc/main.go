@@ -1,0 +1,136 @@
+// Command specc is the compiler driver: it compiles a MiniC source file
+// through the speculative-optimization pipeline and (optionally) runs it
+// on the EPIC VM, printing performance counters.
+//
+// Usage:
+//
+//	specc [flags] file.mc [-- prog-args...]
+//
+//	-spec   off|profile|heuristic   data-speculation mode (default profile)
+//	-O0                             disable optimization entirely
+//	-train  1,2,3                   training input for the profiling run
+//	-run                            execute after compiling (default true)
+//	-dump-ir                        print the optimized IR
+//	-dump-asm                       print the VM code
+//	-stats                          print optimizer statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/machine"
+)
+
+func parseArgs(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	spec := flag.String("spec", "profile", "data speculation: off|profile|heuristic")
+	o0 := flag.Bool("O0", false, "disable optimization")
+	train := flag.String("train", "", "comma-separated training input for profiling")
+	run := flag.Bool("run", true, "run the program after compiling")
+	dumpIR := flag.Bool("dump-ir", false, "print optimized IR")
+	dumpAsm := flag.Bool("dump-asm", false, "print VM code")
+	stats := flag.Bool("stats", false, "print optimizer statistics")
+	progArgs := flag.String("args", "", "comma-separated program input (arg(i) values)")
+	profileFile := flag.String("profile", "", "use a serialized profile (from aliasprof -o) instead of -train")
+	sched := flag.Bool("sched", false, "enable the instruction scheduler")
+	pipelined := flag.Bool("pipelined", false, "use the pipelined (scoreboard) timing model")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: specc [flags] file.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specc:", err)
+		os.Exit(1)
+	}
+
+	cfg := repro.Config{OptimizeOff: *o0}
+	switch *spec {
+	case "off":
+		cfg.Spec = repro.SpecOff
+	case "profile":
+		cfg.Spec = repro.SpecProfile
+	case "heuristic":
+		cfg.Spec = repro.SpecHeuristic
+	default:
+		fmt.Fprintf(os.Stderr, "specc: unknown -spec %q\n", *spec)
+		os.Exit(2)
+	}
+	cfg.ProfileArgs, err = parseArgs(*train)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specc: bad -train:", err)
+		os.Exit(2)
+	}
+	if *profileFile != "" {
+		data, err := os.ReadFile(*profileFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specc:", err)
+			os.Exit(1)
+		}
+		cfg.ProfileJSON = data
+	}
+	cfg.Schedule = *sched
+	if *pipelined {
+		cfg.Machine = machine.Defaults()
+		cfg.Machine.Pipelined = true
+	}
+	args, err := parseArgs(*progArgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specc: bad -args:", err)
+		os.Exit(2)
+	}
+
+	c, err := repro.Compile(string(src), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specc:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		t := c.TotalStats()
+		fmt.Fprintf(os.Stderr, "stats: %d classes, %d eliminated (%d speculative), %d insertions (%d control-spec), %d checks, %d adv loads, %d phis\n",
+			t.ExprClasses, t.Eliminated, t.SpecEliminated, t.Insertions, t.SpecInsertions,
+			t.ChecksInserted, t.AdvLoadsMarked, t.PhisPlaced)
+	}
+	if *dumpIR {
+		fmt.Print(c.Prog)
+	}
+	if *dumpAsm {
+		fmt.Print(c.Code)
+	}
+	if !*run {
+		return
+	}
+	res, err := c.Run(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specc: run:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Output)
+	ctr := res.Counters
+	fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d loads=%d (checks=%d failed=%d adv=%d spec=%d) stores=%d data-cycles=%d\n",
+		ctr.Cycles, ctr.InstrsRetired, ctr.LoadsRetired, ctr.CheckLoads,
+		ctr.FailedChecks, ctr.AdvLoads, ctr.SpecLoads, ctr.Stores, ctr.DataAccessCycles)
+	os.Exit(int(res.Ret))
+}

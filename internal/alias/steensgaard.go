@@ -1,0 +1,233 @@
+// Package alias implements the compile-time side of the paper's
+// speculative alias framework (Fig. 4 of Lin et al., PLDI 2003):
+// equivalence-class (Steensgaard) points-to analysis over the flattened IR,
+// assignment of one HSSA virtual variable per alias class, construction of
+// the chi (may-def) and mu (may-use) lists of every indirect reference and
+// call site, and an interprocedural mod/ref analysis for call side effects.
+// Speculation flags are attached later by internal/core from profiles or
+// heuristic rules.
+package alias
+
+import (
+	"repro/internal/ir"
+)
+
+// node is a union-find node in the Steensgaard storage graph. Every node
+// stands for a set of storage locations; pointee links to the node holding
+// whatever the values stored in those locations point to.
+type node struct {
+	parent  *node
+	rank    int
+	pointee *node
+}
+
+func (n *node) find() *node {
+	for n.parent != n {
+		n.parent = n.parent.parent
+		n = n.parent
+	}
+	return n
+}
+
+// solver runs the unification.
+type solver struct {
+	prog  *ir.Program
+	nodes []*node
+
+	valOf  map[*ir.Sym]*node // value held by a (register or memory) symbol
+	objOf  map[*ir.Sym]*node // storage of a memory-resident symbol
+	heapOf map[int]*node     // storage of a heap allocation site
+	retOf  map[*ir.Func]*node
+}
+
+func newSolver(prog *ir.Program) *solver {
+	return &solver{
+		prog:   prog,
+		valOf:  map[*ir.Sym]*node{},
+		objOf:  map[*ir.Sym]*node{},
+		heapOf: map[int]*node{},
+		retOf:  map[*ir.Func]*node{},
+	}
+}
+
+func (s *solver) newNode() *node {
+	n := &node{}
+	n.parent = n
+	s.nodes = append(s.nodes, n)
+	return n
+}
+
+func (s *solver) union(a, b *node) *node {
+	ra, rb := a.find(), b.find()
+	if ra == rb {
+		return ra
+	}
+	if ra.rank < rb.rank {
+		ra, rb = rb, ra
+	}
+	rb.parent = ra
+	if ra.rank == rb.rank {
+		ra.rank++
+	}
+	// merge pointees recursively (Steensgaard's conditional unification,
+	// done eagerly: both pointees exist ⇒ unify; one exists ⇒ adopt)
+	pa, pb := ra.pointee, rb.pointee
+	ra.pointee = nil
+	switch {
+	case pa != nil && pb != nil:
+		ra.pointee = s.union(pa, pb)
+	case pa != nil:
+		ra.pointee = pa
+	case pb != nil:
+		ra.pointee = pb
+	}
+	return ra
+}
+
+// pointeeOf returns (creating on demand) the pointee node of n.
+func (s *solver) pointeeOf(n *node) *node {
+	r := n.find()
+	if r.pointee == nil {
+		r.pointee = s.newNode()
+	}
+	return r.pointee.find()
+}
+
+func (s *solver) val(sym *ir.Sym) *node {
+	if n, ok := s.valOf[sym]; ok {
+		return n.find()
+	}
+	n := s.newNode()
+	s.valOf[sym] = n
+	return n
+}
+
+func (s *solver) obj(sym *ir.Sym) *node {
+	if n, ok := s.objOf[sym]; ok {
+		return n.find()
+	}
+	n := s.newNode()
+	s.objOf[sym] = n
+	// the value stored in a memory-resident symbol is the symbol's value
+	// node: loading it yields val(sym)'s pointees
+	n.pointee = s.val(sym)
+	return n
+}
+
+func (s *solver) heap(site int) *node {
+	if n, ok := s.heapOf[site]; ok {
+		return n.find()
+	}
+	n := s.newNode()
+	s.heapOf[site] = n
+	return n
+}
+
+func (s *solver) ret(f *ir.Func) *node {
+	if n, ok := s.retOf[f]; ok {
+		return n.find()
+	}
+	n := s.newNode()
+	s.retOf[f] = n
+	return n
+}
+
+// valueNodeOf returns the node describing the pointer value of an operand,
+// or nil for constants (which point nowhere).
+func (s *solver) valueNodeOf(op ir.Operand) *node {
+	switch o := op.(type) {
+	case *ir.Ref:
+		return s.val(o.Sym)
+	case *ir.AddrOf:
+		// the value is the address of the object: a fresh node whose
+		// pointee is the object's storage
+		n := s.newNode()
+		n.pointee = s.obj(o.Sym)
+		return n
+	}
+	return nil
+}
+
+// unifyValues makes two value nodes equivalent (they may hold the same
+// pointer), skipping nil (constant) sides.
+func (s *solver) unifyValues(a, b *node) {
+	if a == nil || b == nil {
+		return
+	}
+	// values are "may hold same pointer": unify their pointees
+	s.union(s.pointeeOf(a), s.pointeeOf(b))
+}
+
+// solve runs one pass over every statement; Steensgaard is flow-insensitive
+// and each constraint is applied once (union-find makes it a fixpoint).
+func (s *solver) solve() {
+	for _, f := range s.prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, st := range b.Stmts {
+				s.stmt(f, st)
+			}
+			if b.Term.Kind == ir.TermRet && b.Term.Val != nil {
+				s.unifyValues(s.ret(f), s.valueNodeOf(b.Term.Val))
+			}
+		}
+	}
+}
+
+func (s *solver) stmt(f *ir.Func, st ir.Stmt) {
+	switch t := st.(type) {
+	case *ir.Assign:
+		dst := s.val(t.Dst.Sym)
+		switch t.RK {
+		case ir.RHSCopy:
+			s.unifyValues(dst, s.valueNodeOf(t.A))
+		case ir.RHSBinary:
+			// pointer arithmetic: result may point wherever either
+			// operand points (field-insensitive)
+			s.unifyValues(dst, s.valueNodeOf(t.A))
+			s.unifyValues(dst, s.valueNodeOf(t.B))
+		case ir.RHSUnary:
+			s.unifyValues(dst, s.valueNodeOf(t.A))
+		case ir.RHSLoad:
+			// dst = *a : dst may hold the value stored in a's pointees
+			if a := s.valueNodeOf(t.A); a != nil {
+				cell := s.pointeeOf(a)
+				s.unifyValues(dst, s.contentOf(cell))
+			}
+		case ir.RHSAlloc:
+			s.union(s.pointeeOf(dst), s.heap(t.AllocSite))
+		}
+	case *ir.IStore:
+		// *addr = val : the contents of addr's pointees may hold val
+		if a := s.valueNodeOf(t.Addr); a != nil {
+			cell := s.pointeeOf(a)
+			s.unifyValues(s.contentOf(cell), s.valueNodeOf(t.Val))
+		}
+	case *ir.Call:
+		callee, ok := s.prog.FuncMap[t.Fn]
+		if !ok {
+			return // builtins: arg has no pointer behaviour
+		}
+		for i, p := range callee.Params {
+			if i < len(t.Args) {
+				s.unifyValues(s.val(p), s.valueNodeOf(t.Args[i]))
+			}
+		}
+		if t.Dst != nil {
+			s.unifyValues(s.val(t.Dst.Sym), s.ret(callee))
+		}
+	}
+}
+
+// contentOf returns the value node describing the contents of a storage
+// (object) node — what a load from it yields. The graph is bipartite: a
+// value node's pointee is an object node (what the value points at); an
+// object node's pointee is the value node of its contents. For
+// memory-resident symbols obj() installs val(sym) as the content, so named
+// and indirect accesses to the same storage share one value node.
+func (s *solver) contentOf(cell *node) *node {
+	r := cell.find()
+	if r.pointee == nil {
+		r.pointee = s.newNode()
+	}
+	return r.pointee.find()
+}

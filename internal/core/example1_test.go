@@ -1,0 +1,227 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestPaperExample1 reproduces the paper's Example 1 (§3.1) structurally:
+//
+//	s0: a1 = ...
+//	s1: *p1 = 4          a2 ← χ(a1)   b2 ← χs(b1)   v2 ← χ(v1)
+//	s5: ... = a2
+//	s6: a3 = 4
+//	s7/s8: ... = *p1     μ(a3) μs(b2) μ(v2)
+//
+// With the profile saying *p aliases b but not a, the χ on a is weak and
+// the χ on b is flagged; the speculative walk from a2 reaches a1 (the
+// update can be ignored), while b's chain is blocked.
+func TestPaperExample1(t *testing.T) {
+	src := `
+int a = 0;
+int b = 0;
+int main() {
+	int *p = &a;
+	if (arg(0)) p = &b;   // profiled with arg(0)=1: p -> b
+	int a0 = a;           // establishes a's first version use
+	*p = 4;               // the paper's s1
+	int a2use = a;        // s5: = a2
+	int pload = *p;       // s8: = *p1
+	print(a0, a2use, pload);
+	return 0;
+}`
+	prog, ar, _ := buildRaw(t, src, ModeProfile, []int64{1})
+	main := prog.FuncMap["main"]
+	ssa := BuildSSA(main, ar.FuncVirtuals[main])
+
+	// locate the indirect store and inspect its chi list
+	var store *ir.IStore
+	for _, blk := range main.Blocks {
+		for _, st := range blk.Stmts {
+			if is, ok := st.(*ir.IStore); ok {
+				store = is
+			}
+		}
+	}
+	if store == nil {
+		t.Fatal("no indirect store found")
+	}
+	var chiA, chiB, chiV *ir.Chi
+	for _, chi := range store.Chis {
+		switch {
+		case chi.Sym.Name == "a":
+			chiA = chi
+		case chi.Sym.Name == "b":
+			chiB = chi
+		case strings.HasPrefix(chi.Sym.Name, "v$"):
+			chiV = chi
+		}
+	}
+	if chiA == nil || chiB == nil || chiV == nil {
+		t.Fatalf("chi list incomplete: %v", store.Chis)
+	}
+	// the paper's flags: χ(a) weak (profile never saw *p touch a),
+	// χs(b) flagged, χ(v) weak
+	if chiA.Spec {
+		t.Error("chi(a) must be a speculative weak update (profile: *p never writes a)")
+	}
+	if !chiB.Spec {
+		t.Error("chi(b) must be flagged chi_s (profile: *p writes b)")
+	}
+	if chiV.Spec {
+		t.Error("chi(vv) must stay weak (pairwise info lives on members)")
+	}
+
+	// the speculative walk: a's version after the χ reaches the version
+	// before it (speculatively); b's does not
+	aSym, bSym := chiA.Sym, chiB.Sym
+	ctx := &WalkContext{Mode: ModeProfile}
+	if reaches, spec := ssa.SpecReaches(aSym, chiA.NewVer, chiA.OldVer, ctx); !reaches || !spec {
+		t.Errorf("a%d should speculatively reach a%d (reaches=%v spec=%v)",
+			chiA.NewVer, chiA.OldVer, reaches, spec)
+	}
+	if reaches, _ := ssa.SpecReaches(bSym, chiB.NewVer, chiB.OldVer, ctx); reaches {
+		t.Error("b's flagged chi must block the walk")
+	}
+
+	// the final load of *p must carry μs(b) and plain μ(a)
+	var load *ir.Assign
+	for _, blk := range main.Blocks {
+		for _, st := range blk.Stmts {
+			if as, ok := st.(*ir.Assign); ok && as.RK == ir.RHSLoad {
+				load = as
+			}
+		}
+	}
+	if load == nil {
+		t.Fatal("no indirect load found")
+	}
+	var muA, muB *ir.Mu
+	for _, mu := range load.Mus {
+		switch mu.Sym.Name {
+		case "a":
+			muA = mu
+		case "b":
+			muB = mu
+		}
+	}
+	if muA == nil || muB == nil {
+		t.Fatalf("mu list incomplete: %v", load.Mus)
+	}
+	if muA.Spec {
+		t.Error("mu(a) must be unflagged")
+	}
+	if !muB.Spec {
+		t.Error("mu(b) must be flagged mu_s")
+	}
+}
+
+// TestPaperFigure5 reproduces the three occurrence relationships of the
+// paper's Figure 5: (a) redundant when nothing intervenes, (b) killed by a
+// flagged update, (c) speculatively redundant across a weak update.
+func TestPaperFigure5(t *testing.T) {
+	type variant struct {
+		name      string
+		profile   []int64 // training input: arg(0)=1 makes *p alias a
+		wantReach bool
+		wantSpec  bool
+	}
+	src := `
+int a = 1;
+int other = 2;
+int main() {
+	int *p = &other;
+	if (arg(0)) p = &a;
+	int x = a;
+	*p = 9;
+	int y = a;
+	print(x, y);
+	return 0;
+}`
+	for _, v := range []variant{
+		{"speculatively-redundant", []int64{0}, true, true},
+		{"killed", []int64{1}, false, false},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			prog, ar, _ := buildRaw(t, src, ModeProfile, v.profile)
+			main := prog.FuncMap["main"]
+			ssa := BuildSSA(main, ar.FuncVirtuals[main])
+			var loads []*ir.Assign
+			for _, blk := range main.Blocks {
+				for _, st := range blk.Stmts {
+					if as, ok := st.(*ir.Assign); ok && as.RK == ir.RHSCopy {
+						if r, ok := as.A.(*ir.Ref); ok && r.Sym.Name == "a" {
+							loads = append(loads, as)
+						}
+					}
+				}
+			}
+			if len(loads) != 2 {
+				t.Fatalf("want 2 direct loads of a, got %d", len(loads))
+			}
+			aSym := loads[0].A.(*ir.Ref).Sym
+			v1 := loads[0].A.(*ir.Ref).Ver
+			v2 := loads[1].A.(*ir.Ref).Ver
+			reaches, spec := ssa.SpecReaches(aSym, v2, v1, &WalkContext{Mode: ModeProfile})
+			if reaches != v.wantReach || spec != v.wantSpec {
+				t.Errorf("reaches=%v spec=%v, want %v/%v", reaches, spec, v.wantReach, v.wantSpec)
+			}
+		})
+	}
+	// fully redundant: no store at all between the loads
+	src2 := `
+int a = 1;
+int main() {
+	int x = a;
+	int y = a;
+	print(x, y);
+	return 0;
+}`
+	prog, ar, _ := buildRaw(t, src2, ModeProfile, nil)
+	main := prog.FuncMap["main"]
+	BuildSSA(main, ar.FuncVirtuals[main])
+	var vers []int
+	for _, blk := range main.Blocks {
+		for _, st := range blk.Stmts {
+			if as, ok := st.(*ir.Assign); ok && as.RK == ir.RHSCopy {
+				if r, ok := as.A.(*ir.Ref); ok && r.Sym.Name == "a" {
+					vers = append(vers, r.Ver)
+				}
+			}
+		}
+	}
+	if len(vers) != 2 || vers[0] != vers[1] {
+		t.Errorf("fully redundant loads must share a version: %v", vers)
+	}
+}
+
+// TestCallChiFlags checks heuristic rule 3: all call-side chis are flagged
+// regardless of profile absence.
+func TestCallChiFlags(t *testing.T) {
+	src := `
+int g = 0;
+void w() { g = 1; }
+int main() {
+	w();
+	print(g);
+	return 0;
+}`
+	prog, _, _ := buildRaw(t, src, ModeHeuristic, nil)
+	main := prog.FuncMap["main"]
+	for _, blk := range main.Blocks {
+		for _, st := range blk.Stmts {
+			if c, ok := st.(*ir.Call); ok && c.Fn == "w" {
+				if len(c.Chis) == 0 {
+					t.Fatal("call has no chi list")
+				}
+				for _, chi := range c.Chis {
+					if !chi.Spec {
+						t.Errorf("heuristic rule 3: call chi on %s must be flagged", chi.Sym.Name)
+					}
+				}
+			}
+		}
+	}
+}

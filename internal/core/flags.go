@@ -1,0 +1,183 @@
+package core
+
+import (
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// Mode selects how speculation flags are assigned to chi/mu operators.
+type Mode int
+
+const (
+	// ModeNone disables data speculation: every chi and mu is flagged as
+	// highly likely, so no update is ever speculatively ignored. This is
+	// the paper's non-speculative baseline.
+	ModeNone Mode = iota
+	// ModeProfile assigns flags from alias-profile LOC sets (§3.2.1).
+	ModeProfile
+	// ModeHeuristic assigns flags by the three heuristic rules of §3.2.2:
+	// stores' updates are speculatively ignorable except between
+	// references with identical syntax trees, and call side effects are
+	// always highly likely.
+	ModeHeuristic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeProfile:
+		return "profile"
+	case ModeHeuristic:
+		return "heuristic"
+	}
+	return "mode?"
+}
+
+// AssignFlags walks every chi/mu list in the program and sets the Spec
+// flags according to the mode. For ModeProfile, prof supplies the LOC sets
+// collected by the alias-profiling interpreter run; profiled LOCs that the
+// compile-time lists miss are added as flagged entries (the paper's "if
+// any member of its profiled LOC set is not in its chi list, add the
+// member using chi_s").
+func AssignFlags(prog *ir.Program, ar *alias.Result, prof *profile.Profile, mode Mode) {
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, st := range b.Stmts {
+				switch t := st.(type) {
+				case *ir.Assign:
+					if t.RK == ir.RHSLoad && t.Site != 0 {
+						flagMus(f, t.Mus, locsFor(prof, mode, t.Site, false), ar, mode, false)
+						t.Mus = addMissingMus(f, t.Mus, locsFor(prof, mode, t.Site, false), ar)
+					} else if t.Dst.Sym.InMemory() {
+						// direct store's chi on the virtual variable: a
+						// weak summary update under speculation, a hard
+						// kill otherwise
+						for _, chi := range t.Chis {
+							chi.Spec = mode == ModeNone
+						}
+					}
+				case *ir.IStore:
+					if t.Site != 0 {
+						flagChis(f, t.Chis, locsFor(prof, mode, t.Site, true), ar, mode, false)
+						t.Chis = addMissingChis(f, t.Chis, locsFor(prof, mode, t.Site, true), ar)
+					}
+				case *ir.Call:
+					// heuristic rule 3: call side effects are always
+					// highly likely (mu list remains unflagged)
+					if mode == ModeProfile {
+						flagChis(f, t.Chis, prof.CallMod[t.Site], ar, mode, true)
+						t.Chis = addMissingChis(f, t.Chis, prof.CallMod[t.Site], ar)
+						flagMus(f, t.Mus, prof.CallRef[t.Site], ar, mode, true)
+					} else {
+						for _, chi := range t.Chis {
+							chi.Spec = true
+						}
+						if mode == ModeNone {
+							for _, mu := range t.Mus {
+								mu.Spec = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// locsFor fetches the profiled LOC set for a reference site, or nil when
+// no profile applies.
+func locsFor(prof *profile.Profile, mode Mode, site int, isStore bool) profile.LocSet {
+	if mode != ModeProfile || prof == nil {
+		return nil
+	}
+	if isStore {
+		return prof.StoreLocs[site]
+	}
+	return prof.LoadLocs[site]
+}
+
+// flagChis sets the Spec flag of each chi: under ModeNone everything is
+// flagged; under ModeProfile a chi is flagged iff its symbol's LOC was
+// observed at this site (virtual variables stay weak — pairwise kill
+// information lives on the member symbols); under ModeHeuristic store
+// chis stay weak (the syntax-tree rule is applied during the walk).
+// isCall marks call-site chi lists, whose virtual variables are flagged
+// from membership of any class LOC under profile mode.
+func flagChis(f *ir.Func, chis []*ir.Chi, locs profile.LocSet, ar *alias.Result, mode Mode, isCall bool) {
+	for _, chi := range chis {
+		chi.Spec = symFlag(f, chi.Sym, locs, ar, mode)
+	}
+}
+
+func flagMus(f *ir.Func, mus []*ir.Mu, locs profile.LocSet, ar *alias.Result, mode Mode, isCall bool) {
+	for _, mu := range mus {
+		mu.Spec = symFlag(f, mu.Sym, locs, ar, mode)
+	}
+}
+
+// symFlag decides the speculation flag for one chi/mu symbol.
+func symFlag(f *ir.Func, sym *ir.Sym, locs profile.LocSet, ar *alias.Result, mode Mode) bool {
+	switch mode {
+	case ModeNone:
+		return true
+	case ModeHeuristic:
+		return false
+	case ModeProfile:
+		if sym.Kind == ir.SymVirtual {
+			if key, ok := ar.HeapSiteOf[sym]; ok {
+				return locs.Has(profile.Loc{Kind: profile.LocHeap, Site: key.Site, Ctx: key.Ctx})
+			}
+			return false // class virtual variable: always weak
+		}
+		return locs.Has(symLoc(f, sym))
+	}
+	return true
+}
+
+// symLoc builds the profile LOC naming a program variable in function f.
+func symLoc(f *ir.Func, sym *ir.Sym) profile.Loc {
+	if sym.Kind == ir.SymGlobal {
+		return profile.Loc{Kind: profile.LocGlobal, Sym: sym}
+	}
+	return profile.Loc{Kind: profile.LocLocal, Sym: sym, Fn: f}
+}
+
+// addMissingChis appends flagged chis for profiled LOCs absent from the
+// compile-time list (conservative-analysis escape hatch from §3.2.1).
+func addMissingChis(f *ir.Func, chis []*ir.Chi, locs profile.LocSet, ar *alias.Result) []*ir.Chi {
+	if locs == nil {
+		return chis
+	}
+	have := map[*ir.Sym]bool{}
+	for _, chi := range chis {
+		have[chi.Sym] = true
+	}
+	for loc := range locs {
+		sym := ar.LocToSym(f, loc)
+		if sym != nil && !have[sym] {
+			have[sym] = true
+			chis = append(chis, &ir.Chi{Sym: sym, Spec: true})
+		}
+	}
+	return chis
+}
+
+func addMissingMus(f *ir.Func, mus []*ir.Mu, locs profile.LocSet, ar *alias.Result) []*ir.Mu {
+	if locs == nil {
+		return mus
+	}
+	have := map[*ir.Sym]bool{}
+	for _, mu := range mus {
+		have[mu.Sym] = true
+	}
+	for loc := range locs {
+		sym := ar.LocToSym(f, loc)
+		if sym != nil && !have[sym] {
+			have[sym] = true
+			mus = append(mus, &ir.Mu{Sym: sym, Spec: true})
+		}
+	}
+	return mus
+}

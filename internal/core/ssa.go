@@ -1,0 +1,279 @@
+// Package core implements the speculative SSA form of Lin et al.
+// (PLDI 2003): HSSA construction (phi insertion and renaming over real
+// variables, virtual variables and heap pseudo-symbols, with chi/mu
+// versioning), assignment of the speculation flags (chi_s / mu_s) from
+// alias profiles (§3.2.1) or heuristic rules (§3.2.2), and the
+// speculative use-def walk that later optimizations use to skip
+// speculative weak updates.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// SymVer identifies one SSA version of a symbol.
+type SymVer struct {
+	Sym *ir.Sym
+	Ver int
+}
+
+// DefKind classifies definition points.
+type DefKind int
+
+const (
+	// DefEntry is the implicit definition of version 0 at function entry.
+	DefEntry DefKind = iota
+	// DefPhi is a phi node.
+	DefPhi
+	// DefStmt is a direct (strong) definition by a statement.
+	DefStmt
+	// DefChi is a may-definition through a chi.
+	DefChi
+)
+
+// Def records where an SSA version is defined.
+type Def struct {
+	Kind  DefKind
+	Block *ir.Block
+	Phi   *ir.Phi
+	Stmt  ir.Stmt
+	Chi   *ir.Chi
+}
+
+// SSA is the per-function speculative SSA form: the renamed IR plus the
+// def-site index that the speculative walk and SSAPRE consult.
+type SSA struct {
+	Fn  *ir.Func
+	DT  *ir.DomTree
+	Def map[SymVer]Def
+
+	// Vars lists every symbol that was versioned in this function.
+	Vars []*ir.Sym
+}
+
+// BuildSSA converts fn (with chi/mu lists already annotated) into HSSA
+// form: phis are inserted for every variable with definitions, and all
+// refs, mus and chis receive version numbers. virtuals lists the virtual
+// symbols referenced by the function's chi/mu lists (from
+// alias.Result.FuncVirtuals).
+func BuildSSA(fn *ir.Func, virtuals []*ir.Sym) *SSA {
+	fn.SplitCriticalEdges()
+	dt := ir.BuildDomTree(fn)
+	s := &SSA{Fn: fn, DT: dt, Def: map[SymVer]Def{}}
+
+	// 1. collect variables and their definition blocks
+	defBlocks := map[*ir.Sym][]*ir.Block{}
+	seen := map[*ir.Sym]bool{}
+	note := func(sym *ir.Sym, b *ir.Block) {
+		if !seen[sym] {
+			seen[sym] = true
+			s.Vars = append(s.Vars, sym)
+		}
+		if b != nil {
+			defBlocks[sym] = append(defBlocks[sym], b)
+		}
+	}
+	noteUse := func(op ir.Operand) {
+		if r, ok := op.(*ir.Ref); ok {
+			note(r.Sym, nil)
+		}
+	}
+	for _, v := range virtuals {
+		note(v, nil)
+	}
+	for _, b := range fn.Blocks {
+		for _, st := range b.Stmts {
+			switch t := st.(type) {
+			case *ir.Assign:
+				noteUse(t.A)
+				if t.B != nil {
+					noteUse(t.B)
+				}
+				for _, mu := range t.Mus {
+					note(mu.Sym, nil)
+				}
+				note(t.Dst.Sym, b)
+				for _, chi := range t.Chis {
+					note(chi.Sym, b)
+				}
+			case *ir.IStore:
+				noteUse(t.Addr)
+				noteUse(t.Val)
+				for _, chi := range t.Chis {
+					note(chi.Sym, b)
+				}
+			case *ir.Call:
+				for _, a := range t.Args {
+					noteUse(a)
+				}
+				for _, mu := range t.Mus {
+					note(mu.Sym, nil)
+				}
+				if t.Dst != nil {
+					note(t.Dst.Sym, b)
+				}
+				for _, chi := range t.Chis {
+					note(chi.Sym, b)
+				}
+			case *ir.Print:
+				for _, a := range t.Args {
+					noteUse(a)
+				}
+			}
+		}
+		if b.Term.Cond != nil {
+			noteUse(b.Term.Cond)
+		}
+		if b.Term.Val != nil {
+			noteUse(b.Term.Val)
+		}
+	}
+
+	// 2. phi insertion at iterated dominance frontiers of the def sites
+	for _, sym := range s.Vars {
+		blocks := defBlocks[sym]
+		if len(blocks) == 0 {
+			continue
+		}
+		// IteratedFrontier computes DF+, which is closed under taking
+		// frontiers of the inserted phis themselves.
+		for _, pb := range dt.IteratedFrontier(blocks) {
+			if hasPhiFor(pb, sym) {
+				continue
+			}
+			phi := &ir.Phi{Sym: sym, Args: make([]*ir.Ref, len(pb.Preds))}
+			for i := range phi.Args {
+				phi.Args[i] = &ir.Ref{Sym: sym}
+			}
+			pb.Phis = append(pb.Phis, phi)
+		}
+	}
+
+	// 3. renaming along the dominator tree
+	stacks := map[*ir.Sym][]int{}
+	top := func(sym *ir.Sym) int {
+		st := stacks[sym]
+		if len(st) == 0 {
+			return 0
+		}
+		return st[len(st)-1]
+	}
+	newVer := func(sym *ir.Sym) int {
+		sym.NVers++
+		return sym.NVers
+	}
+	for _, sym := range s.Vars {
+		s.Def[SymVer{sym, 0}] = Def{Kind: DefEntry, Block: fn.Entry}
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		var pushed []*ir.Sym
+		push := func(sym *ir.Sym, ver int) {
+			stacks[sym] = append(stacks[sym], ver)
+			pushed = append(pushed, sym)
+		}
+		useRef := func(op ir.Operand) {
+			if r, ok := op.(*ir.Ref); ok {
+				r.Ver = top(r.Sym)
+			}
+		}
+		for _, phi := range b.Phis {
+			phi.Ver = newVer(phi.Sym)
+			s.Def[SymVer{phi.Sym, phi.Ver}] = Def{Kind: DefPhi, Block: b, Phi: phi}
+			push(phi.Sym, phi.Ver)
+		}
+		for _, st := range b.Stmts {
+			switch t := st.(type) {
+			case *ir.Assign:
+				useRef(t.A)
+				if t.B != nil {
+					useRef(t.B)
+				}
+				for _, mu := range t.Mus {
+					mu.Ver = top(mu.Sym)
+				}
+				t.Dst.Ver = newVer(t.Dst.Sym)
+				s.Def[SymVer{t.Dst.Sym, t.Dst.Ver}] = Def{Kind: DefStmt, Block: b, Stmt: st}
+				push(t.Dst.Sym, t.Dst.Ver)
+				for _, chi := range t.Chis {
+					chi.OldVer = top(chi.Sym)
+					chi.NewVer = newVer(chi.Sym)
+					s.Def[SymVer{chi.Sym, chi.NewVer}] = Def{Kind: DefChi, Block: b, Stmt: st, Chi: chi}
+					push(chi.Sym, chi.NewVer)
+				}
+			case *ir.IStore:
+				useRef(t.Addr)
+				useRef(t.Val)
+				for _, chi := range t.Chis {
+					chi.OldVer = top(chi.Sym)
+					chi.NewVer = newVer(chi.Sym)
+					s.Def[SymVer{chi.Sym, chi.NewVer}] = Def{Kind: DefChi, Block: b, Stmt: st, Chi: chi}
+					push(chi.Sym, chi.NewVer)
+				}
+			case *ir.Call:
+				for _, a := range t.Args {
+					useRef(a)
+				}
+				for _, mu := range t.Mus {
+					mu.Ver = top(mu.Sym)
+				}
+				if t.Dst != nil {
+					t.Dst.Ver = newVer(t.Dst.Sym)
+					s.Def[SymVer{t.Dst.Sym, t.Dst.Ver}] = Def{Kind: DefStmt, Block: b, Stmt: st}
+					push(t.Dst.Sym, t.Dst.Ver)
+				}
+				for _, chi := range t.Chis {
+					chi.OldVer = top(chi.Sym)
+					chi.NewVer = newVer(chi.Sym)
+					s.Def[SymVer{chi.Sym, chi.NewVer}] = Def{Kind: DefChi, Block: b, Stmt: st, Chi: chi}
+					push(chi.Sym, chi.NewVer)
+				}
+			case *ir.Print:
+				for _, a := range t.Args {
+					useRef(a)
+				}
+			}
+		}
+		if b.Term.Cond != nil {
+			useRef(b.Term.Cond)
+		}
+		if b.Term.Val != nil {
+			useRef(b.Term.Val)
+		}
+		for _, succ := range b.Succs {
+			j := succ.PredIndex(b)
+			for _, phi := range succ.Phis {
+				phi.Args[j].Ver = top(phi.Sym)
+			}
+		}
+		for _, c := range dt.Children[b] {
+			rename(c)
+		}
+		for _, sym := range pushed {
+			stacks[sym] = stacks[sym][:len(stacks[sym])-1]
+		}
+	}
+	rename(fn.Entry)
+	return s
+}
+
+func hasPhiFor(b *ir.Block, sym *ir.Sym) bool {
+	for _, phi := range b.Phis {
+		if phi.Sym == sym {
+			return true
+		}
+	}
+	return false
+}
+
+// DefOf returns the definition record of (sym, ver).
+func (s *SSA) DefOf(sym *ir.Sym, ver int) (Def, error) {
+	d, ok := s.Def[SymVer{sym, ver}]
+	if !ok {
+		return Def{}, fmt.Errorf("core: no definition recorded for %s_%d in %s", sym.Name, ver, s.Fn.Name)
+	}
+	return d, nil
+}

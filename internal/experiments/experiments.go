@@ -1,0 +1,386 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the modelled workloads:
+//
+//   - §5.1  the equake/smvp case study (checks-per-load ratio, speedup
+//     over the base, and the no-check manual upper bound);
+//   - Fig. 10  per-benchmark dynamic-load reduction, execution-time
+//     speedup and data-access-cycle reduction of speculative register
+//     promotion over the O3-equivalent baseline;
+//   - Fig. 11  check-loads over loads retired and the mis-speculation
+//     ratio, from the ALAT counters (the pfmon stand-in);
+//   - Fig. 12  potential load reduction by the simulation-based
+//     load-reuse method and by aggressive (alias-ignoring) register
+//     promotion;
+//   - §5.2  the heuristic-rules variant compared with the profile-guided
+//     one.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// Row is one benchmark's measurements for the Fig. 10/11 tables.
+type Row struct {
+	Name string
+
+	BaseLoads, SpecLoads   int64 // plain (non-check) loads retired
+	BaseCycles, SpecCycles int64
+	BaseData, SpecData     int64 // data-access cycles
+
+	Checks       int64
+	FailedChecks int64
+	LoadsRetired int64 // total loads retired in the speculative build
+
+	// Fig. 12 potentials
+	ReusePotential      float64 // simulation-based load-reuse limit
+	AggressiveReduction float64 // aggressive promotion upper bound
+
+	// §5.2 heuristic variant
+	HeurLoads  int64
+	HeurCycles int64
+}
+
+// LoadReduction is the paper's first metric: percent of dynamic loads
+// removed by speculative register promotion.
+func (r Row) LoadReduction() float64 {
+	if r.BaseLoads == 0 {
+		return 0
+	}
+	return 1 - float64(r.SpecLoads)/float64(r.BaseLoads)
+}
+
+// Speedup over the base in execution time (cycles).
+func (r Row) Speedup() float64 {
+	if r.SpecCycles == 0 {
+		return 0
+	}
+	return float64(r.BaseCycles)/float64(r.SpecCycles) - 1
+}
+
+// DataCycleReduction is the reduction of cycles attributed to data access.
+func (r Row) DataCycleReduction() float64 {
+	if r.BaseData == 0 {
+		return 0
+	}
+	return 1 - float64(r.SpecData)/float64(r.BaseData)
+}
+
+// CheckRatio is Fig. 11's percentage of check loads over loads retired.
+func (r Row) CheckRatio() float64 {
+	if r.LoadsRetired == 0 {
+		return 0
+	}
+	return float64(r.Checks) / float64(r.LoadsRetired)
+}
+
+// MissRatio is Fig. 11's mis-speculation ratio (failed / total checks).
+func (r Row) MissRatio() float64 {
+	if r.Checks == 0 {
+		return 0
+	}
+	return float64(r.FailedChecks) / float64(r.Checks)
+}
+
+// HeurLoadReduction is the heuristic variant's load reduction (§5.2).
+func (r Row) HeurLoadReduction() float64 {
+	if r.BaseLoads == 0 {
+		return 0
+	}
+	return 1 - float64(r.HeurLoads)/float64(r.BaseLoads)
+}
+
+// RunAll measures every workload under base (SpecOff), profile-guided and
+// heuristic speculation, plus the Fig. 12 limit methods.
+func RunAll() ([]Row, error) {
+	var rows []Row
+	for _, w := range workloads.All() {
+		row, err := RunOne(w)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunOne measures a single workload.
+func RunOne(w workloads.Workload) (Row, error) {
+	row := Row{Name: w.Name}
+
+	type variant struct {
+		cfg    repro.Config
+		loads  *int64
+		cycles *int64
+		data   *int64
+		full   bool // record check counters too
+	}
+	var aggLoads int64
+	variants := []variant{
+		{cfg: repro.Config{Spec: repro.SpecOff}, loads: &row.BaseLoads, cycles: &row.BaseCycles, data: &row.BaseData},
+		{cfg: repro.Config{Spec: repro.SpecProfile}, loads: &row.SpecLoads, cycles: &row.SpecCycles, data: &row.SpecData, full: true},
+		{cfg: repro.Config{Spec: repro.SpecHeuristic}, loads: &row.HeurLoads, cycles: &row.HeurCycles},
+		{cfg: repro.Config{AggressivePromotion: true}, loads: &aggLoads},
+	}
+	var out string
+	for i, v := range variants {
+		v.cfg.ProfileArgs = w.ProfileArgs
+		c, err := repro.Compile(w.Src, v.cfg)
+		if err != nil {
+			return row, err
+		}
+		res, err := c.Run(w.RefArgs)
+		if err != nil {
+			return row, err
+		}
+		if i == 0 {
+			out = res.Output
+		} else if res.Output != out {
+			return row, fmt.Errorf("output mismatch between variants: %q vs %q", res.Output, out)
+		}
+		*v.loads = res.Counters.LoadsRetired - res.Counters.CheckLoads
+		if v.cycles != nil {
+			*v.cycles = res.Counters.Cycles
+		}
+		if v.data != nil {
+			*v.data = res.Counters.DataAccessCycles
+		}
+		if v.full {
+			row.Checks = res.Counters.CheckLoads
+			row.FailedChecks = res.Counters.FailedChecks
+			row.LoadsRetired = res.Counters.LoadsRetired
+		}
+	}
+	if row.BaseLoads > 0 {
+		row.AggressiveReduction = 1 - float64(aggLoads)/float64(row.BaseLoads)
+	}
+
+	sim, err := repro.ReuseLimit(w.Src, w.RefArgs)
+	if err != nil {
+		return row, err
+	}
+	row.ReusePotential = sim.PotentialReduction()
+	return row, nil
+}
+
+// Smvp holds the §5.1 case-study measurements.
+type Smvp struct {
+	ChecksPerLoad float64 // fraction of the procedure's loads replaced by checks
+	Speedup       float64 // speculative vs base
+	ManualSpeedup float64 // aggressive no-check bound vs base ("manually tuned")
+}
+
+// RunSmvp reproduces the §5.1 case study on the equake kernel: the
+// fraction of load operations converted to checks, the speedup of
+// speculative promotion, and the upper bound of a manually tuned version
+// that promotes without any check instructions (compiled with
+// AggressivePromotion and zero-cost checks — the paper's hand-allocated
+// registers).
+func RunSmvp() (Smvp, error) {
+	w, _ := workloads.ByName("equake")
+	base, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecOff, ProfileArgs: w.ProfileArgs})
+	if err != nil {
+		return Smvp{}, err
+	}
+	spec, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs})
+	if err != nil {
+		return Smvp{}, err
+	}
+	manualCfg := repro.Config{AggressivePromotion: true, ProfileArgs: w.ProfileArgs}
+	manualCfg.Machine = machine.Defaults()
+	manualCfg.Machine.CheckHitLat = 0 // hand-allocated registers: no check instructions at all
+	manualCfg.Machine.CheckMissPen = 0
+	manual, err := repro.Compile(w.Src, manualCfg)
+	if err != nil {
+		return Smvp{}, err
+	}
+	rb, err := base.Run(w.RefArgs)
+	if err != nil {
+		return Smvp{}, err
+	}
+	rs, err := spec.Run(w.RefArgs)
+	if err != nil {
+		return Smvp{}, err
+	}
+	// the "manually tuned" bound: no checks at all — run the aggressive
+	// build and drop check costs entirely by removing their cycles
+	rm, err := manual.Run(w.RefArgs)
+	if err != nil {
+		return Smvp{}, err
+	}
+	var s Smvp
+	if rs.Counters.LoadsRetired > 0 {
+		s.ChecksPerLoad = float64(rs.Counters.CheckLoads) / float64(rs.Counters.LoadsRetired)
+	}
+	if rs.Counters.Cycles > 0 {
+		s.Speedup = float64(rb.Counters.Cycles)/float64(rs.Counters.Cycles) - 1
+	}
+	if rm.Counters.Cycles > 0 {
+		s.ManualSpeedup = float64(rb.Counters.Cycles)/float64(rm.Counters.Cycles) - 1
+	}
+	return s, nil
+}
+
+// PrintFig10 renders the Fig. 10 table.
+func PrintFig10(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "Figure 10: effect of speculative register promotion (ref input)")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %14s\n", "bench", "base loads", "spec loads", "load red.", "speedup / dcyc red.")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %12d %12d %11.1f%% %8.1f%% / %5.1f%%\n",
+			r.Name, r.BaseLoads, r.SpecLoads, r.LoadReduction()*100, r.Speedup()*100, r.DataCycleReduction()*100)
+	}
+}
+
+// PrintFig11 renders the Fig. 11 table.
+func PrintFig11(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "Figure 11: check loads and mis-speculation (ref input)")
+	fmt.Fprintf(w, "%-8s %12s %14s %12s %12s\n", "bench", "checks", "loads retired", "check ratio", "miss ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %12d %14d %11.2f%% %11.2f%%\n",
+			r.Name, r.Checks, r.LoadsRetired, r.CheckRatio()*100, r.MissRatio()*100)
+	}
+}
+
+// PrintFig12 renders the Fig. 12 table.
+func PrintFig12(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "Figure 12: potential load reduction (ref input)")
+	fmt.Fprintf(w, "%-8s %12s %14s %12s\n", "bench", "achieved", "reuse limit", "aggressive")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %11.1f%% %13.1f%% %11.1f%%\n",
+			r.Name, r.LoadReduction()*100, r.ReusePotential*100, r.AggressiveReduction*100)
+	}
+}
+
+// PrintHeuristic renders the §5.2 heuristic-vs-profile comparison.
+func PrintHeuristic(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "§5.2: heuristic rules vs alias profile (load reduction, ref input)")
+	fmt.Fprintf(w, "%-8s %12s %12s\n", "bench", "profile", "heuristic")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %11.1f%% %11.1f%%\n", r.Name, r.LoadReduction()*100, r.HeurLoadReduction()*100)
+	}
+}
+
+// PrintSmvp renders the §5.1 case study.
+func PrintSmvp(w io.Writer, s Smvp) {
+	fmt.Fprintln(w, "§5.1: equake smvp case study")
+	fmt.Fprintf(w, "  loads converted to checks: %.1f%% (paper: 39.8%%)\n", s.ChecksPerLoad*100)
+	fmt.Fprintf(w, "  speculative speedup:       %.1f%% (paper: 6%%)\n", s.Speedup*100)
+	fmt.Fprintf(w, "  manual no-check bound:     %.1f%% (paper: 14%%)\n", s.ManualSpeedup*100)
+}
+
+// Report runs everything and renders all tables.
+func Report(w io.Writer) error {
+	s, err := RunSmvp()
+	if err != nil {
+		return err
+	}
+	PrintSmvp(w, s)
+	fmt.Fprintln(w)
+	rows, err := RunAll()
+	if err != nil {
+		return err
+	}
+	PrintFig10(w, rows)
+	fmt.Fprintln(w)
+	PrintFig11(w, rows)
+	fmt.Fprintln(w)
+	PrintFig12(w, rows)
+	fmt.Fprintln(w)
+	PrintHeuristic(w, rows)
+	fmt.Fprintln(w)
+	sens, err := RunSensitivity()
+	if err != nil {
+		return err
+	}
+	PrintSensitivity(w, sens)
+	return nil
+}
+
+// Summary returns a one-line shape check used by tests: which benchmarks
+// won, by how much.
+func Summary(rows []Row) string {
+	var parts []string
+	for _, r := range rows {
+		parts = append(parts, fmt.Sprintf("%s=%.0f%%", r.Name, r.LoadReduction()*100))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Sensitivity is the input-sensitivity study motivated by the paper's §1:
+// alias profiles "do not guarantee they are not aliases under different
+// program inputs", which is exactly why the information must be used
+// speculatively. For each kernel we compare training on the training
+// input (mis-matched: the reference run sees aliasing the profile never
+// saw) against training on the reference input itself (matched).
+type Sensitivity struct {
+	Name                  string
+	MismatchChecks        int64
+	MismatchFailed        int64
+	MatchedChecks         int64
+	MatchedFailed         int64
+	OutputsCorrect        bool
+	MismatchLoadReduction float64
+	MatchedLoadReduction  float64
+}
+
+// RunSensitivity measures the input-sensitivity table on kernels that
+// have input-dependent aliasing (gzip and mcf carry rare aliasing stores
+// that small training inputs never execute).
+func RunSensitivity() ([]Sensitivity, error) {
+	var rows []Sensitivity
+	for _, name := range []string{"gzip", "mcf", "equake"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %s", name)
+		}
+		base, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecOff, ProfileArgs: w.ProfileArgs})
+		if err != nil {
+			return nil, err
+		}
+		rb, err := base.Run(w.RefArgs)
+		if err != nil {
+			return nil, err
+		}
+		row := Sensitivity{Name: name, OutputsCorrect: true}
+		for i, train := range [][]int64{w.ProfileArgs, w.RefArgs} {
+			c, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: train})
+			if err != nil {
+				return nil, err
+			}
+			res, err := c.Run(w.RefArgs)
+			if err != nil {
+				return nil, err
+			}
+			if res.Output != rb.Output {
+				row.OutputsCorrect = false
+			}
+			red := 1 - float64(res.Counters.LoadsRetired-res.Counters.CheckLoads)/float64(rb.Counters.LoadsRetired)
+			if i == 0 {
+				row.MismatchChecks = res.Counters.CheckLoads
+				row.MismatchFailed = res.Counters.FailedChecks
+				row.MismatchLoadReduction = red
+			} else {
+				row.MatchedChecks = res.Counters.CheckLoads
+				row.MatchedFailed = res.Counters.FailedChecks
+				row.MatchedLoadReduction = red
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintSensitivity renders the input-sensitivity table.
+func PrintSensitivity(w io.Writer, rows []Sensitivity) {
+	fmt.Fprintln(w, "Input sensitivity: trained on training input vs on the reference input")
+	fmt.Fprintf(w, "%-8s %28s %28s %8s\n", "bench", "mismatched (checks/failed)", "matched (checks/failed)", "correct")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %17d / %-8d %17d / %-8d %8v\n",
+			r.Name, r.MismatchChecks, r.MismatchFailed, r.MatchedChecks, r.MatchedFailed, r.OutputsCorrect)
+	}
+}

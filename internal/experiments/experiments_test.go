@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperShape asserts the qualitative results the paper reports, on the
+// modelled workloads:
+//
+//   - Fig. 10: art, ammp, equake, mcf, twolf show real load reductions and
+//     speedups; gzip, vpr, bzip2 barely move; reductions don't translate
+//     1:1 into speedup.
+//   - Fig. 11: mis-speculation ratios are small; gzip's ratio is the
+//     largest while its check count is negligible.
+//   - Fig. 12: both limit methods upper-bound the achieved reduction, and
+//     a low reuse limit (gzip) predicts a low achieved gain.
+//   - §5.2: heuristic rules achieve reductions comparable to the profile.
+//   - §5.1: smvp converts a large fraction of loads to checks; the
+//     speculative speedup falls between zero and the manual bound.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep")
+	}
+	rows, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if len(rows) != 8 {
+		t.Fatalf("expected 8 benchmarks, got %d", len(rows))
+	}
+
+	winners := []string{"art", "ammp", "equake", "mcf", "twolf"}
+	flat := []string{"vpr", "bzip2"}
+	for _, n := range winners {
+		r := byName[n]
+		if r.LoadReduction() < 0.05 {
+			t.Errorf("Fig10: %s load reduction %.1f%%, want >= 5%%", n, r.LoadReduction()*100)
+		}
+		if r.Speedup() <= 0 {
+			t.Errorf("Fig10: %s speedup %.2f%%, want > 0", n, r.Speedup()*100)
+		}
+	}
+	for _, n := range flat {
+		r := byName[n]
+		if r.LoadReduction() > 0.05 {
+			t.Errorf("Fig10: %s load reduction %.1f%%, expected near zero", n, r.LoadReduction()*100)
+		}
+	}
+	// load reduction exceeds speedup (loads are often cheap hits — the
+	// paper's mcf observation)
+	mcf := byName["mcf"]
+	if mcf.Speedup() >= mcf.LoadReduction() {
+		t.Errorf("Fig10: mcf speedup (%.1f%%) should lag its load reduction (%.1f%%)",
+			mcf.Speedup()*100, mcf.LoadReduction()*100)
+	}
+
+	// Fig. 11
+	for _, r := range rows {
+		if r.MissRatio() > 0.10 {
+			t.Errorf("Fig11: %s mis-speculation ratio %.1f%% too large", r.Name, r.MissRatio()*100)
+		}
+	}
+	gzip := byName["gzip"]
+	if gzip.Checks > 0 {
+		if gzip.CheckRatio() > 0.05 {
+			t.Errorf("Fig11: gzip check ratio %.2f%% should be negligible", gzip.CheckRatio()*100)
+		}
+		if gzip.MissRatio() == 0 {
+			t.Error("Fig11: gzip should show some mis-speculation on its few checks")
+		}
+	}
+
+	// Fig. 12: limits bound achieved gains; correlation at the extremes
+	for _, r := range rows {
+		if r.AggressiveReduction+1e-9 < r.LoadReduction() {
+			t.Errorf("Fig12: %s aggressive bound %.1f%% below achieved %.1f%%",
+				r.Name, r.AggressiveReduction*100, r.LoadReduction()*100)
+		}
+		if r.ReusePotential+0.02 < r.LoadReduction() {
+			t.Errorf("Fig12: %s reuse limit %.1f%% below achieved %.1f%%",
+				r.Name, r.ReusePotential*100, r.LoadReduction()*100)
+		}
+	}
+	if gzip.ReusePotential > 0.15 {
+		t.Errorf("Fig12: gzip reuse potential %.1f%% should be small (it predicts the tiny gain)",
+			gzip.ReusePotential*100)
+	}
+
+	// §5.2: heuristic comparable to profile (within 10 points on winners)
+	for _, n := range winners {
+		r := byName[n]
+		diff := r.LoadReduction() - r.HeurLoadReduction()
+		if diff > 0.10 || diff < -0.10 {
+			t.Errorf("§5.2: %s heuristic %.1f%% vs profile %.1f%% — not comparable",
+				n, r.HeurLoadReduction()*100, r.LoadReduction()*100)
+		}
+	}
+}
+
+func TestSmvpShape(t *testing.T) {
+	s, err := RunSmvp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paper: 39.8% of loads become checks; 6% speedup against a 14%
+	// manual bound. Shape: large check fraction, positive speedup, at or
+	// below the manual bound.
+	if s.ChecksPerLoad < 0.20 || s.ChecksPerLoad > 0.60 {
+		t.Errorf("checks/loads = %.1f%%, want 20-60%% (paper: 39.8%%)", s.ChecksPerLoad*100)
+	}
+	if s.Speedup <= 0 {
+		t.Errorf("speculative speedup %.1f%% must be positive", s.Speedup*100)
+	}
+	if s.Speedup > s.ManualSpeedup+1e-9 {
+		t.Errorf("speculative speedup %.1f%% exceeds the manual bound %.1f%%",
+			s.Speedup*100, s.ManualSpeedup*100)
+	}
+}
+
+func TestReportRendersAllTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	var sb strings.Builder
+	if err := Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"§5.1", "Figure 10", "Figure 11", "Figure 12", "§5.2",
+		"equake", "mcf", "gzip", "twolf",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestInputSensitivityShape(t *testing.T) {
+	rows, err := RunSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OutputsCorrect {
+			t.Errorf("%s: speculation changed program output", r.Name)
+		}
+		if r.MatchedFailed > r.MismatchFailed {
+			t.Errorf("%s: matched profile fails more checks (%d) than the mismatched one (%d)",
+				r.Name, r.MatchedFailed, r.MismatchFailed)
+		}
+	}
+	// gzip and mcf must demonstrate the effect: failures under the
+	// mismatched profile, none under the matched one
+	for _, name := range []string{"gzip", "mcf"} {
+		for _, r := range rows {
+			if r.Name != name {
+				continue
+			}
+			if r.MismatchFailed == 0 {
+				t.Errorf("%s: expected mis-speculations under the mismatched profile", name)
+			}
+			if r.MatchedFailed != 0 {
+				t.Errorf("%s: matched profile should not mis-speculate, got %d", name, r.MatchedFailed)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package interp
+
+// ReuseSim implements the simulation-based potential-load-reduction method
+// of the paper's Fig. 12 (following Bodik et al.'s load-reuse analysis):
+// memory references with identical names or syntax trees form equivalence
+// classes; a dynamic load is counted as a potential speculative reuse when
+// the previous access to the same address within the same class and the
+// same procedure invocation carried the same value.
+type ReuseSim struct {
+	// Classes maps a reference-site id to its equivalence class id.
+	// Sites absent from the map are tracked per-site.
+	Classes map[int]int
+
+	// Loads is the number of dynamic loads observed.
+	Loads uint64
+	// Reused is the number of loads whose value was available from a
+	// previous same-class access to the same address.
+	Reused uint64
+
+	last map[reuseKey]reuseVal
+}
+
+type reuseKey struct {
+	class int
+	addr  int
+}
+
+type reuseVal struct {
+	val        uint64
+	invocation int64
+}
+
+// NewReuseSim builds a simulator over the given site→class map.
+func NewReuseSim(classes map[int]int) *ReuseSim {
+	return &ReuseSim{Classes: classes, last: map[reuseKey]reuseVal{}}
+}
+
+// access records one dynamic memory access. Called by the interpreter;
+// invocation identifies the procedure activation, since the paper's method
+// only counts reuse "within the same procedure invocation".
+func (r *ReuseSim) access(site, addr int, val uint64, isStore bool, invocation int64) {
+	class, ok := r.Classes[site]
+	if !ok {
+		class = -site - 1 // per-site class for unclassified references
+	}
+	k := reuseKey{class: class, addr: addr}
+	if isStore {
+		r.last[k] = reuseVal{val: val, invocation: invocation}
+		return
+	}
+	r.Loads++
+	if prev, ok := r.last[k]; ok && prev.val == val && prev.invocation == invocation {
+		r.Reused++
+	}
+	r.last[k] = reuseVal{val: val, invocation: invocation}
+}
+
+// PotentialReduction returns the fraction of dynamic loads that a perfect
+// speculative register promoter could have eliminated under this input.
+func (r *ReuseSim) PotentialReduction() float64 {
+	if r.Loads == 0 {
+		return 0
+	}
+	return float64(r.Reused) / float64(r.Loads)
+}

@@ -1,0 +1,234 @@
+package ir
+
+// DomTree holds the dominator tree and dominance frontiers of a function's
+// CFG, computed with the Cooper-Harvey-Kennedy iterative algorithm.
+type DomTree struct {
+	fn *Func
+	// Idom maps a block to its immediate dominator (nil for entry).
+	Idom map[*Block]*Block
+	// Children maps a block to the blocks it immediately dominates.
+	Children map[*Block][]*Block
+	// Frontier maps a block to its dominance frontier.
+	Frontier map[*Block][]*Block
+	// rpoNum is the reverse-post-order number of each block.
+	rpoNum map[*Block]int
+	order  []*Block
+}
+
+// BuildDomTree computes dominators and dominance frontiers for f.
+func BuildDomTree(f *Func) *DomTree {
+	order := f.RPO()
+	num := make(map[*Block]int, len(order))
+	for i, b := range order {
+		num[b] = i
+	}
+	idom := make(map[*Block]*Block, len(order))
+	idom[f.Entry] = f.Entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for num[a] > num[b] {
+				a = idom[a]
+			}
+			for num[b] > num[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[f.Entry] = nil
+
+	children := make(map[*Block][]*Block)
+	for _, b := range order {
+		if d := idom[b]; d != nil {
+			children[d] = append(children[d], b)
+		}
+	}
+
+	frontier := make(map[*Block][]*Block)
+	for _, b := range order {
+		// b ∈ DF(a) iff a dominates a predecessor of b but does not
+		// strictly dominate b. Walking from every predecessor also covers
+		// back edges into the entry (idom nil), where the walk terminates
+		// at the tree root.
+		for _, p := range b.Preds {
+			if _, ok := num[p]; !ok {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != idom[b] {
+				frontier[runner] = appendUnique(frontier[runner], b)
+				runner = idom[runner]
+			}
+		}
+	}
+
+	return &DomTree{fn: f, Idom: idom, Children: children, Frontier: frontier, rpoNum: num, order: order}
+}
+
+func appendUnique(s []*Block, b *Block) []*Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = d.Idom[b]
+	}
+	return false
+}
+
+// Order returns the blocks in reverse post-order.
+func (d *DomTree) Order() []*Block { return d.order }
+
+// RPONum returns the reverse-post-order number of b.
+func (d *DomTree) RPONum(b *Block) int { return d.rpoNum[b] }
+
+// IteratedFrontier computes DF+ of a set of blocks: the smallest set S
+// containing DF(in) and closed under DF. Phi placement inserts at DF+ of
+// the definition sites.
+func (d *DomTree) IteratedFrontier(in []*Block) []*Block {
+	inSet := make(map[*Block]bool)
+	work := append([]*Block(nil), in...)
+	out := make(map[*Block]bool)
+	for _, b := range in {
+		inSet[b] = true
+	}
+	var res []*Block
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, fb := range d.Frontier[b] {
+			if !out[fb] {
+				out[fb] = true
+				res = append(res, fb)
+				if !inSet[fb] {
+					inSet[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// PreorderWalk visits the dominator tree in preorder, calling enter before
+// descending into a node's children and leave after.
+func (d *DomTree) PreorderWalk(enter, leave func(b *Block)) {
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		enter(b)
+		for _, c := range d.Children[b] {
+			walk(c)
+		}
+		if leave != nil {
+			leave(b)
+		}
+	}
+	if d.fn.Entry != nil {
+		walk(d.fn.Entry)
+	}
+}
+
+// Loop describes a natural loop discovered from back edges.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+	Depth  int
+	Parent *Loop
+}
+
+// FindLoops identifies natural loops (back edge t->h where h dominates t)
+// and computes nesting depths. Returns loops and a map from block to its
+// innermost loop.
+func FindLoops(f *Func, dt *DomTree) ([]*Loop, map[*Block]*Loop) {
+	loopsByHeader := map[*Block]*Loop{}
+	var loops []*Loop
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if dt.Dominates(s, b) {
+				// back edge b -> s
+				l := loopsByHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+					loopsByHeader[s] = l
+					loops = append(loops, l)
+				}
+				// walk backwards from b collecting the loop body
+				var stack []*Block
+				if !l.Blocks[b] {
+					l.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range x.Preds {
+						if !l.Blocks[p] {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Nesting: loop A is inside loop B if A.Header ∈ B.Blocks and A != B.
+	innermost := map[*Block]*Loop{}
+	for _, l := range loops {
+		for _, m := range loops {
+			if l != m && m.Blocks[l.Header] && len(m.Blocks) > len(l.Blocks) {
+				if l.Parent == nil || len(m.Blocks) < len(l.Parent.Blocks) {
+					l.Parent = m
+				}
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	for _, l := range loops {
+		for b := range l.Blocks {
+			if cur := innermost[b]; cur == nil || len(l.Blocks) < len(cur.Blocks) {
+				innermost[b] = l
+			}
+		}
+	}
+	return loops, innermost
+}

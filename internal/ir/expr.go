@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Op enumerates the first-order operations of the flattened IR.
+type Op int
+
+const (
+	OpNone Op = iota
+	// arithmetic (operand type decides int vs float semantics)
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	// comparisons; result is int 0/1
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// bitwise / logical on ints
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNot
+	// conversions
+	OpIntToFloat
+	OpFloatToInt
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpNeg: "neg", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAnd: "&", OpOr: "|", OpXor: "^",
+	OpShl: "<<", OpShr: ">>", OpNot: "!",
+	OpIntToFloat: "(double)", OpFloatToInt: "(int)",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsCommutative reports whether the binary op commutes; PRE canonicalizes
+// commutative operands so that a+b and b+a share one expression class.
+func (o Op) IsCommutative() bool {
+	switch o {
+	case OpAdd, OpMul, OpEq, OpNe, OpAnd, OpOr, OpXor:
+		return true
+	}
+	return false
+}
+
+// IsComparison reports whether the op yields a 0/1 int truth value.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// Operand is a leaf of the flattened IR: a constant, a versioned variable
+// reference, or the address of a memory-resident symbol.
+type Operand interface {
+	operand()
+	Type() *Type
+	String() string
+}
+
+// ConstInt is an integer literal operand.
+type ConstInt struct{ Val int64 }
+
+func (*ConstInt) operand()         {}
+func (*ConstInt) Type() *Type      { return IntType }
+func (c *ConstInt) String() string { return strconv.FormatInt(c.Val, 10) }
+
+// ConstFloat is a floating-point literal operand.
+type ConstFloat struct{ Val float64 }
+
+func (*ConstFloat) operand()         {}
+func (*ConstFloat) Type() *Type      { return FloatType }
+func (c *ConstFloat) String() string { return strconv.FormatFloat(c.Val, 'g', -1, 64) }
+
+// Ref is a use or def of a symbol at a particular SSA version. Before SSA
+// construction Ver is 0. Refs are aliased freely inside statements; the
+// renamer mutates Ver in place.
+type Ref struct {
+	Sym *Sym
+	Ver int
+}
+
+func (*Ref) operand()      {}
+func (r *Ref) Type() *Type { return r.Sym.Type }
+func (r *Ref) String() string {
+	if r.Ver == 0 {
+		return r.Sym.Name
+	}
+	return fmt.Sprintf("%s_%d", r.Sym.Name, r.Ver)
+}
+
+// AddrOf is the address of a memory-resident symbol (global, aggregate, or
+// address-taken local); its value is a pointer.
+type AddrOf struct{ Sym *Sym }
+
+func (*AddrOf) operand()         {}
+func (a *AddrOf) Type() *Type    { return PtrTo(a.Sym.Type) }
+func (a *AddrOf) String() string { return "&" + a.Sym.Name }
+
+// SameOperand reports whether two operands are the same leaf, including SSA
+// versions. Used by PRE to compare expression occurrences.
+func SameOperand(a, b Operand) bool {
+	switch x := a.(type) {
+	case *ConstInt:
+		y, ok := b.(*ConstInt)
+		return ok && x.Val == y.Val
+	case *ConstFloat:
+		y, ok := b.(*ConstFloat)
+		return ok && x.Val == y.Val
+	case *Ref:
+		y, ok := b.(*Ref)
+		return ok && x.Sym == y.Sym && x.Ver == y.Ver
+	case *AddrOf:
+		y, ok := b.(*AddrOf)
+		return ok && x.Sym == y.Sym
+	}
+	return false
+}
+
+// SameLeafIgnoringVersion reports whether two operands denote the same
+// syntactic leaf regardless of SSA version (same variable, same constant).
+// This implements the "identical address expression / same variable" tests
+// of the paper's heuristic rules (§3.2.2).
+func SameLeafIgnoringVersion(a, b Operand) bool {
+	switch x := a.(type) {
+	case *ConstInt:
+		y, ok := b.(*ConstInt)
+		return ok && x.Val == y.Val
+	case *ConstFloat:
+		y, ok := b.(*ConstFloat)
+		return ok && x.Val == y.Val
+	case *Ref:
+		y, ok := b.(*Ref)
+		return ok && x.Sym == y.Sym
+	case *AddrOf:
+		y, ok := b.(*AddrOf)
+		return ok && x.Sym == y.Sym
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package ir
+
+import "fmt"
+
+// SymKind classifies symbols by storage and origin.
+type SymKind int
+
+const (
+	// SymGlobal is a file-scope variable; always memory-resident.
+	SymGlobal SymKind = iota
+	// SymLocal is a function-scope variable.
+	SymLocal
+	// SymParam is a function parameter.
+	SymParam
+	// SymTemp is a compiler-generated temporary; always register-resident.
+	SymTemp
+	// SymVirtual is an HSSA virtual variable standing for the contents of
+	// one alias equivalence class of indirect memory references. Virtual
+	// variables never exist at run time; they carry SSA versions only.
+	SymVirtual
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymGlobal:
+		return "global"
+	case SymLocal:
+		return "local"
+	case SymParam:
+		return "param"
+	case SymTemp:
+		return "temp"
+	case SymVirtual:
+		return "virtual"
+	}
+	return fmt.Sprintf("symkind(%d)", int(k))
+}
+
+// Sym is a program variable: a real variable from the source program, a
+// compiler temporary, or an HSSA virtual variable. Symbols are unique per
+// function (globals are shared across the program and attached to it).
+type Sym struct {
+	Name string
+	Type *Type
+	Kind SymKind
+	ID   int // dense id, unique within the owning Func (globals: within Program)
+
+	// AddrTaken records whether &sym occurs anywhere; address-taken
+	// variables and aggregates are memory-resident.
+	AddrTaken bool
+
+	// Class is the alias equivalence class this symbol's storage belongs
+	// to, assigned by the alias analysis; -1 when the symbol cannot be
+	// accessed through a pointer (register-resident scalars).
+	Class int
+
+	// Addr is the assigned memory address: for globals an absolute slot
+	// address in the global segment; for memory-resident locals/params a
+	// frame offset. Only meaningful when InMemory() is true.
+	Addr int
+
+	// NVers is the number of SSA versions created for this symbol during
+	// renaming (versions are 1..NVers; version 0 is "entry/unknown").
+	NVers int
+}
+
+// InMemory reports whether the symbol's storage is in addressable memory
+// (so reads of it are load instructions and writes are stores). Globals,
+// aggregates and address-taken scalars are memory-resident; everything else
+// lives in virtual registers.
+func (s *Sym) InMemory() bool {
+	if s.Kind == SymVirtual {
+		return false // virtual variables are analysis-only
+	}
+	if s.Kind == SymGlobal {
+		return true
+	}
+	if !s.Type.IsScalar() {
+		return true
+	}
+	return s.AddrTaken
+}
+
+func (s *Sym) String() string {
+	if s == nil {
+		return "<nilsym>"
+	}
+	return s.Name
+}

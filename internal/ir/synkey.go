@@ -1,0 +1,139 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// SyntaxKeys reconstructs, for every memory-reference site in a (pre-SSA)
+// function, a canonical string for its source-level syntax tree: loads are
+// keyed by their address expression, direct variable references by name.
+// Two sites with equal keys have identical syntax trees in the sense of the
+// paper's heuristic rule 1/2 (§3.2.2) and of the Fig. 12 load-reuse
+// equivalence classes.
+//
+// The flattened IR lost the source trees, but lowering produces single-
+// definition temporaries, so the tree is recovered by chasing temp
+// definitions. Multiply-defined or cross-block-φ'd symbols become opaque
+// leaves keyed by symbol identity.
+func SyntaxKeys(f *Func) map[Stmt]string {
+	// count definitions of every register symbol
+	defCount := map[*Sym]int{}
+	defOf := map[*Sym]*Assign{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *Assign:
+				if !st.Dst.Sym.InMemory() {
+					defCount[st.Dst.Sym]++
+					defOf[st.Dst.Sym] = st
+				}
+			case *Call:
+				if st.Dst != nil {
+					defCount[st.Dst.Sym] += 2 // calls are opaque
+				}
+			}
+		}
+	}
+
+	memo := map[*Sym]string{}
+	var keyOfSym func(s *Sym, depth int) string
+	keyOfOperand := func(op Operand, depth int) string {
+		switch o := op.(type) {
+		case *ConstInt:
+			return strconv.FormatInt(o.Val, 10)
+		case *ConstFloat:
+			return strconv.FormatFloat(o.Val, 'g', -1, 64)
+		case *AddrOf:
+			return "&" + o.Sym.Name
+		case *Ref:
+			return keyOfSym(o.Sym, depth)
+		}
+		return "?"
+	}
+	keyOfSym = func(s *Sym, depth int) string {
+		if s.InMemory() || s.Kind == SymGlobal {
+			return "mem:" + s.Name
+		}
+		if s.Kind == SymParam || s.Kind == SymLocal {
+			return "var:" + s.Name
+		}
+		if k, ok := memo[s]; ok {
+			return k
+		}
+		if depth > 16 || defCount[s] != 1 {
+			return fmt.Sprintf("reg:%s#%d", s.Name, s.ID)
+		}
+		def := defOf[s]
+		if def == nil {
+			return fmt.Sprintf("reg:%s#%d", s.Name, s.ID)
+		}
+		var k string
+		switch def.RK {
+		case RHSCopy:
+			k = keyOfOperand(def.A, depth+1)
+		case RHSUnary:
+			k = fmt.Sprintf("(%s %s)", def.Op, keyOfOperand(def.A, depth+1))
+		case RHSBinary:
+			a := keyOfOperand(def.A, depth+1)
+			b := keyOfOperand(def.B, depth+1)
+			if def.Op.IsCommutative() && b < a {
+				a, b = b, a
+			}
+			k = fmt.Sprintf("(%s %s %s)", a, def.Op, b)
+		case RHSLoad:
+			k = fmt.Sprintf("*(%s)", keyOfOperand(def.A, depth+1))
+		case RHSAlloc:
+			k = fmt.Sprintf("alloc@%d", def.AllocSite)
+		}
+		memo[s] = k
+		return k
+	}
+
+	keys := map[Stmt]string{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *Assign:
+				switch {
+				case st.RK == RHSLoad:
+					keys[s] = "*(" + keyOfOperand(st.A, 0) + ")"
+				case st.RK == RHSCopy && refToMemory(st.A):
+					keys[s] = "mem:" + st.A.(*Ref).Sym.Name
+				case st.RK == RHSCopy && st.Dst.Sym.InMemory():
+					keys[s] = "mem:" + st.Dst.Sym.Name
+				}
+			case *IStore:
+				keys[s] = "*(" + keyOfOperand(st.Addr, 0) + ")"
+			}
+		}
+	}
+	return keys
+}
+
+func refToMemory(op Operand) bool {
+	r, ok := op.(*Ref)
+	return ok && r.Sym.InMemory()
+}
+
+// SiteSyntaxKeys maps reference-site ids (Assign.Site / IStore.Site) to
+// syntax keys for the whole program.
+func SiteSyntaxKeys(p *Program) map[int]string {
+	out := map[int]string{}
+	for _, f := range p.Funcs {
+		keys := SyntaxKeys(f)
+		for s, k := range keys {
+			switch st := s.(type) {
+			case *Assign:
+				if st.Site != 0 {
+					out[st.Site] = f.Name + "/" + k
+				}
+			case *IStore:
+				if st.Site != 0 {
+					out[st.Site] = f.Name + "/" + k
+				}
+			}
+		}
+	}
+	return out
+}

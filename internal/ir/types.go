@@ -1,0 +1,169 @@
+// Package ir defines the mid-level intermediate representation used by the
+// speculative optimization framework: a control-flow graph of basic blocks
+// holding flattened (three-address) statements over typed symbols, together
+// with the HSSA annotations (phi, chi, mu) that the speculative SSA form of
+// Lin et al. (PLDI 2003) attaches to it.
+//
+// The IR deliberately mirrors the shape of ORC's WHIRL at the level the
+// paper operates on: scalar variables (real and virtual), indirect loads and
+// stores with may-def (chi) and may-use (mu) lists, and expression trees
+// that have been flattened so that every operation is first-order (operands
+// are constants or scalar variables). Flattening makes SSAPRE's
+// one-expression-at-a-time processing direct.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the type constructors of the MiniC type system.
+type Kind int
+
+const (
+	// KVoid is the type of functions that return nothing.
+	KVoid Kind = iota
+	// KInt is a 64-bit signed integer occupying one memory slot.
+	KInt
+	// KFloat is a 64-bit IEEE float occupying one memory slot.
+	KFloat
+	// KPtr is a pointer (one slot holding a slot address).
+	KPtr
+	// KArray is a fixed-length array of Elem.
+	KArray
+	// KStruct is a record with named fields.
+	KStruct
+)
+
+// Type describes a MiniC value or object type. Types are interned by the
+// front end; pointer equality is not meaningful but Equal is.
+type Type struct {
+	Kind   Kind
+	Elem   *Type   // element type for KPtr and KArray
+	Len    int     // element count for KArray
+	Fields []Field // for KStruct
+	Name   string  // struct tag, if any
+}
+
+// Field is a named member of a struct type.
+type Field struct {
+	Name string
+	Type *Type
+	Off  int // slot offset from the start of the struct
+}
+
+// Predefined scalar types shared across the compiler.
+var (
+	VoidType  = &Type{Kind: KVoid}
+	IntType   = &Type{Kind: KInt}
+	FloatType = &Type{Kind: KFloat}
+)
+
+// PtrTo returns a pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: KPtr, Elem: elem} }
+
+// ArrayOf returns an array type of n elems.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: KArray, Elem: elem, Len: n} }
+
+// Size returns the size of the type in 8-byte slots.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case KVoid:
+		return 0
+	case KInt, KFloat, KPtr:
+		return 1
+	case KArray:
+		return t.Len * t.Elem.Size()
+	case KStruct:
+		n := 0
+		for _, f := range t.Fields {
+			n += f.Type.Size()
+		}
+		return n
+	}
+	panic(fmt.Sprintf("ir: Size of unknown kind %d", t.Kind))
+}
+
+// IsScalar reports whether the type fits in a single register slot.
+func (t *Type) IsScalar() bool {
+	return t.Kind == KInt || t.Kind == KFloat || t.Kind == KPtr
+}
+
+// IsFloat reports whether the type is the floating-point scalar type.
+func (t *Type) IsFloat() bool { return t.Kind == KFloat }
+
+// FieldByName returns the struct field with the given name.
+func (t *Type) FieldByName(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KVoid, KInt, KFloat:
+		return true
+	case KPtr:
+		return t.Elem.Equal(u.Elem)
+	case KArray:
+		return t.Len == u.Len && t.Elem.Equal(u.Elem)
+	case KStruct:
+		if t.Name != "" || u.Name != "" {
+			return t.Name == u.Name
+		}
+		if len(t.Fields) != len(u.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if t.Fields[i].Name != u.Fields[i].Name || !t.Fields[i].Type.Equal(u.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the type in MiniC syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "double"
+	case KPtr:
+		return t.Elem.String() + "*"
+	case KArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case KStruct:
+		if t.Name != "" {
+			return "struct " + t.Name
+		}
+		var b strings.Builder
+		b.WriteString("struct {")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "%s %s", f.Type, f.Name)
+		}
+		b.WriteString("}")
+		return b.String()
+	}
+	return fmt.Sprintf("<kind %d>", t.Kind)
+}

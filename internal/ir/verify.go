@@ -1,0 +1,164 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of a function's CFG and statements.
+// It returns the first violation found, or nil. It is used liberally in
+// tests and after every transformation pass.
+func Verify(f *Func) error {
+	if f.Entry == nil {
+		return fmt.Errorf("%s: no entry block", f.Name)
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	if !inFunc[f.Entry] {
+		return fmt.Errorf("%s: entry block not in block list", f.Name)
+	}
+	for _, b := range f.Blocks {
+		// terminator / successor agreement
+		switch b.Term.Kind {
+		case TermJump:
+			if len(b.Succs) != 1 {
+				return fmt.Errorf("%s B%d: jump with %d successors", f.Name, b.ID, len(b.Succs))
+			}
+		case TermCond:
+			if len(b.Succs) != 2 {
+				return fmt.Errorf("%s B%d: cond branch with %d successors", f.Name, b.ID, len(b.Succs))
+			}
+			if b.Term.Cond == nil {
+				return fmt.Errorf("%s B%d: cond branch without condition", f.Name, b.ID)
+			}
+		case TermRet:
+			if len(b.Succs) > 1 {
+				return fmt.Errorf("%s B%d: return with %d successors", f.Name, b.ID, len(b.Succs))
+			}
+		}
+		// edge symmetry
+		for _, s := range b.Succs {
+			if !inFunc[s] {
+				return fmt.Errorf("%s B%d: successor B%d not in function", f.Name, b.ID, s.ID)
+			}
+			if s.PredIndex(b) < 0 {
+				return fmt.Errorf("%s B%d: successor B%d lacks back pred edge", f.Name, b.ID, s.ID)
+			}
+		}
+		for _, p := range b.Preds {
+			if !inFunc[p] {
+				return fmt.Errorf("%s B%d: pred B%d not in function", f.Name, b.ID, p.ID)
+			}
+			if p.SuccIndex(b) < 0 {
+				return fmt.Errorf("%s B%d: pred B%d lacks forward succ edge", f.Name, b.ID, p.ID)
+			}
+		}
+		// phi arity
+		for _, phi := range b.Phis {
+			if len(phi.Args) != len(b.Preds) {
+				return fmt.Errorf("%s B%d: phi for %s has %d args, %d preds",
+					f.Name, b.ID, phi.Sym.Name, len(phi.Args), len(b.Preds))
+			}
+		}
+		// statement well-formedness
+		for _, s := range b.Stmts {
+			if err := verifyStmt(f, b, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func verifyStmt(f *Func, b *Block, s Stmt) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%s B%d [%s]: %s", f.Name, b.ID, s, fmt.Sprintf(format, args...))
+	}
+	switch st := s.(type) {
+	case *Assign:
+		if st.Dst == nil || st.Dst.Sym == nil {
+			return bad("assign without destination")
+		}
+		if st.A == nil {
+			return bad("assign without first operand")
+		}
+		if st.RK == RHSBinary && st.B == nil {
+			return bad("binary assign without second operand")
+		}
+		if st.RK == RHSLoad {
+			if st.A.Type().Kind != KPtr && st.A.Type().Kind != KInt {
+				return bad("load address has non-pointer type %s", st.A.Type())
+			}
+		}
+	case *IStore:
+		if st.Addr == nil || st.Val == nil {
+			return bad("istore missing operands")
+		}
+	case *Call:
+		if f.prog != nil {
+			if _, ok := f.prog.FuncMap[st.Fn]; !ok && !IsBuiltin(st.Fn) {
+				return bad("call to unknown function %q", st.Fn)
+			}
+		}
+	}
+	return nil
+}
+
+// IsBuiltin reports whether name is a runtime-provided function rather than
+// a user-defined one.
+func IsBuiltin(name string) bool {
+	switch name {
+	case "malloc", "print", "arg":
+		return true
+	}
+	return false
+}
+
+// VerifySSA checks SSA-specific invariants after renaming: every use refers
+// to a version that is defined, and each (sym, version) pair has exactly
+// one definition point.
+func VerifySSA(f *Func) error {
+	type dv struct {
+		sym *Sym
+		ver int
+	}
+	defs := map[dv]int{}
+	addDef := func(sym *Sym, ver int) {
+		if ver > 0 {
+			defs[dv{sym, ver}]++
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis {
+			addDef(phi.Sym, phi.Ver)
+		}
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *Assign:
+				addDef(st.Dst.Sym, st.Dst.Ver)
+				for _, c := range st.Chis {
+					addDef(c.Sym, c.NewVer)
+				}
+			case *IStore:
+				if st.VV != nil {
+					addDef(st.VV.Sym, st.VV.Ver)
+				}
+				for _, c := range st.Chis {
+					addDef(c.Sym, c.NewVer)
+				}
+			case *Call:
+				if st.Dst != nil {
+					addDef(st.Dst.Sym, st.Dst.Ver)
+				}
+				for _, c := range st.Chis {
+					addDef(c.Sym, c.NewVer)
+				}
+			}
+		}
+	}
+	for k, n := range defs {
+		if n > 1 {
+			return fmt.Errorf("%s: %s_%d defined %d times", f.Name, k.sym.Name, k.ver, n)
+		}
+	}
+	return nil
+}

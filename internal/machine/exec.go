@@ -1,0 +1,585 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Config tunes the machine model. The zero value is replaced by Defaults.
+type Config struct {
+	ALATSize     int // entries in the advanced load address table
+	IntLoadLat   int // integer load latency (L1 hit on Itanium: 2)
+	FPLoadLat    int // floating-point load latency (L2 on Itanium: 9)
+	CheckHitLat  int // successful ld.c (paper: 0)
+	CheckMissPen int // extra penalty on a failed check, on top of the reload
+	StoreLat     int
+	IntMulLat    int
+	IntDivLat    int
+	FPArithLat   int
+	FPDivLat     int
+	CallOverhead int
+	MaxSteps     int64
+	MaxCallDepth int
+	StackSlots   int
+	// Pipelined switches the timing model from serial (cycles = sum of
+	// latencies) to an in-order scoreboard: one instruction issues per
+	// cycle and a consumer stalls until its operands' latencies have
+	// elapsed. Under this model latency-driven scheduling
+	// (codegen.Schedule) overlaps load latency with independent work.
+	Pipelined bool
+}
+
+// Defaults is the Itanium-flavoured model from the paper's §5.2.
+func Defaults() Config {
+	return Config{
+		ALATSize:   32,
+		IntLoadLat: 2,
+		FPLoadLat:  9,
+		// the paper's successful ld.c has 0-cycle result latency; it
+		// still occupies one issue slot in this in-order model
+		CheckHitLat:  1,
+		CheckMissPen: 4,
+		StoreLat:     1,
+		IntMulLat:    2,
+		IntDivLat:    15,
+		FPArithLat:   4,
+		FPDivLat:     20,
+		CallOverhead: 2,
+		MaxSteps:     4_000_000_000,
+		MaxCallDepth: 10000,
+		StackSlots:   1 << 20,
+	}
+}
+
+// Counters are the performance-monitor outputs of a run (the pfmon
+// stand-in).
+type Counters struct {
+	Cycles           int64
+	DataAccessCycles int64
+	InstrsRetired    int64
+	LoadsRetired     int64 // all load-class instructions, incl. checks
+	CheckLoads       int64 // ld.c / ldf.c retired
+	FailedChecks     int64 // checks that missed in the ALAT
+	AdvLoads         int64 // ld.a / ldf.a retired
+	SpecLoads        int64 // ld.s / ldf.s retired
+	SpecLoadFaults   int64 // deferred faults (NaT set)
+	Stores           int64
+	ALATEvictions    int64 // capacity/conflict evictions
+}
+
+// Result of a machine run.
+type Result struct {
+	Ret      int64
+	Output   string
+	Counters Counters
+}
+
+// alatEntry is one ALAT slot.
+type alatEntry struct {
+	valid   bool
+	frameID int64
+	reg     int
+	addr    int
+}
+
+type vm struct {
+	prog *Program
+	cfg  Config
+	out  io.Writer
+
+	mem      []uint64
+	stackTop int
+	heapBase int
+	heapNext int
+
+	alat       []alatEntry
+	alatVictim int
+
+	args []int64
+
+	steps   int64
+	depth   int
+	frameID int64
+	clock   int64 // pipelined-model absolute cycle
+
+	ctr Counters
+}
+
+// Run executes the compiled program's main function.
+func Run(prog *Program, args []int64, cfg Config, out io.Writer) (*Result, error) {
+	if cfg.ALATSize == 0 {
+		cfg = Defaults()
+	}
+	var sb *strings.Builder
+	if out == nil {
+		sb = &strings.Builder{}
+		out = sb
+	}
+	m := &vm{prog: prog, cfg: cfg, out: out, args: args}
+	m.mem = make([]uint64, prog.GlobSize+cfg.StackSlots)
+	for a, v := range prog.GlobalInit {
+		m.mem[a] = v
+	}
+	m.stackTop = prog.GlobSize
+	m.heapBase = prog.GlobSize + cfg.StackSlots
+	m.alat = make([]alatEntry, cfg.ALATSize)
+
+	mainFn, ok := prog.Funcs["main"]
+	if !ok {
+		return nil, errors.New("machine: no main function")
+	}
+	ret, _, err := m.call(mainFn, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Pipelined {
+		m.ctr.Cycles = m.clock
+	}
+	res := &Result{Ret: int64(ret), Counters: m.ctr}
+	if sb != nil {
+		res.Output = sb.String()
+	}
+	return res, nil
+}
+
+func (m *vm) fault(format string, a ...any) error {
+	return fmt.Errorf("machine: %s", fmt.Sprintf(format, a...))
+}
+
+func (m *vm) validAddr(a int) bool {
+	return a >= 0 && a < len(m.mem) && (a < m.heapBase || a < m.heapBase+m.heapNext)
+}
+
+// alatInsert allocates (or refreshes) the entry for a register. The ALAT
+// is fully associative like Itanium's, with round-robin eviction when
+// full; an advanced load to a register always replaces that register's
+// own entry first.
+func (m *vm) alatInsert(frameID int64, reg, addr int) {
+	free := -1
+	for i := range m.alat {
+		e := &m.alat[i]
+		if e.valid && e.frameID == frameID && e.reg == reg {
+			e.addr = addr
+			return
+		}
+		if !e.valid && free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		free = m.alatVictim % len(m.alat)
+		m.alatVictim++
+		m.ctr.ALATEvictions++
+	}
+	m.alat[free] = alatEntry{valid: true, frameID: frameID, reg: reg, addr: addr}
+}
+
+func (m *vm) alatCheck(frameID int64, reg, addr int) bool {
+	for i := range m.alat {
+		e := &m.alat[i]
+		if e.valid && e.frameID == frameID && e.reg == reg {
+			return e.addr == addr
+		}
+	}
+	return false
+}
+
+func (m *vm) alatInvalidate(addr int) {
+	for i := range m.alat {
+		if m.alat[i].valid && m.alat[i].addr == addr {
+			m.alat[i].valid = false
+		}
+	}
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// call runs one function activation and returns (value, hadValue).
+func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
+	if m.depth >= m.cfg.MaxCallDepth {
+		return 0, false, m.fault("call depth exceeded in %s", f.Name)
+	}
+	if m.stackTop+f.FrameSize > m.heapBase {
+		return 0, false, m.fault("stack overflow in %s", f.Name)
+	}
+	m.depth++
+	m.frameID++
+	myFrame := m.frameID
+	base := m.stackTop
+	for i := 0; i < f.FrameSize; i++ {
+		m.mem[base+i] = 0
+	}
+	m.stackTop += f.FrameSize
+	defer func() {
+		m.stackTop = base
+		m.depth--
+	}()
+	regs := make([]uint64, f.NumRegs)
+	nat := make([]bool, f.NumRegs)
+	var ready []int64
+	if m.cfg.Pipelined {
+		ready = make([]int64, f.NumRegs)
+		m.clock += int64(m.cfg.CallOverhead)
+		for i := range ready {
+			ready[i] = m.clock
+		}
+	}
+	for i := 0; i < f.NumParams && i < len(args); i++ {
+		regs[i] = args[i]
+	}
+	m.ctr.Cycles += int64(m.cfg.CallOverhead)
+
+	pc := 0
+	for {
+		m.steps++
+		if m.steps > m.cfg.MaxSteps {
+			return 0, false, m.fault("step limit exceeded")
+		}
+		if pc < 0 || pc >= len(f.Instrs) {
+			return 0, false, m.fault("pc out of range in %s", f.Name)
+		}
+		ins := &f.Instrs[pc]
+		m.ctr.InstrsRetired++
+		lat := int64(1)
+		var issueT int64
+		if m.cfg.Pipelined {
+			issueT = m.clock
+			forEachSrc(ins, func(r int) {
+				if ready[r] > issueT {
+					issueT = ready[r]
+				}
+			})
+		}
+		switch ins.Op {
+		case OpNop:
+		case OpMovI:
+			regs[ins.Rd] = uint64(ins.Imm)
+			nat[ins.Rd] = false
+		case OpMov:
+			regs[ins.Rd] = regs[ins.Rs]
+			nat[ins.Rd] = nat[ins.Rs]
+		case OpLEA:
+			if ins.IsFrame {
+				regs[ins.Rd] = uint64(base + int(ins.Imm))
+			} else {
+				regs[ins.Rd] = uint64(ins.Imm)
+			}
+			nat[ins.Rd] = false
+		case OpAdd:
+			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) + int64(regs[ins.Rt]))
+		case OpSub:
+			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) - int64(regs[ins.Rt]))
+		case OpMul:
+			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) * int64(regs[ins.Rt]))
+			lat = int64(m.cfg.IntMulLat)
+		case OpDiv:
+			d := int64(regs[ins.Rt])
+			if d == 0 {
+				return 0, false, m.fault("integer division by zero in %s", f.Name)
+			}
+			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) / d)
+			lat = int64(m.cfg.IntDivLat)
+		case OpMod:
+			d := int64(regs[ins.Rt])
+			if d == 0 {
+				return 0, false, m.fault("integer modulo by zero in %s", f.Name)
+			}
+			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) % d)
+			lat = int64(m.cfg.IntDivLat)
+		case OpAnd:
+			regs[ins.Rd] = regs[ins.Rs] & regs[ins.Rt]
+		case OpOr:
+			regs[ins.Rd] = regs[ins.Rs] | regs[ins.Rt]
+		case OpXor:
+			regs[ins.Rd] = regs[ins.Rs] ^ regs[ins.Rt]
+		case OpShl:
+			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) << (regs[ins.Rt] & 63))
+		case OpShr:
+			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) >> (regs[ins.Rt] & 63))
+		case OpNeg:
+			regs[ins.Rd] = uint64(-int64(regs[ins.Rs]))
+		case OpNot:
+			regs[ins.Rd] = boolToU64(int64(regs[ins.Rs]) == 0)
+		case OpFAdd:
+			regs[ins.Rd] = math.Float64bits(math.Float64frombits(regs[ins.Rs]) + math.Float64frombits(regs[ins.Rt]))
+			lat = int64(m.cfg.FPArithLat)
+		case OpFSub:
+			regs[ins.Rd] = math.Float64bits(math.Float64frombits(regs[ins.Rs]) - math.Float64frombits(regs[ins.Rt]))
+			lat = int64(m.cfg.FPArithLat)
+		case OpFMul:
+			regs[ins.Rd] = math.Float64bits(math.Float64frombits(regs[ins.Rs]) * math.Float64frombits(regs[ins.Rt]))
+			lat = int64(m.cfg.FPArithLat)
+		case OpFDiv:
+			regs[ins.Rd] = math.Float64bits(math.Float64frombits(regs[ins.Rs]) / math.Float64frombits(regs[ins.Rt]))
+			lat = int64(m.cfg.FPDivLat)
+		case OpFNeg:
+			regs[ins.Rd] = math.Float64bits(-math.Float64frombits(regs[ins.Rs]))
+			lat = int64(m.cfg.FPArithLat)
+		case OpCmpEQ:
+			regs[ins.Rd] = boolToU64(int64(regs[ins.Rs]) == int64(regs[ins.Rt]))
+		case OpCmpNE:
+			regs[ins.Rd] = boolToU64(int64(regs[ins.Rs]) != int64(regs[ins.Rt]))
+		case OpCmpLT:
+			regs[ins.Rd] = boolToU64(int64(regs[ins.Rs]) < int64(regs[ins.Rt]))
+		case OpCmpLE:
+			regs[ins.Rd] = boolToU64(int64(regs[ins.Rs]) <= int64(regs[ins.Rt]))
+		case OpCmpGT:
+			regs[ins.Rd] = boolToU64(int64(regs[ins.Rs]) > int64(regs[ins.Rt]))
+		case OpCmpGE:
+			regs[ins.Rd] = boolToU64(int64(regs[ins.Rs]) >= int64(regs[ins.Rt]))
+		case OpFCmpEQ:
+			regs[ins.Rd] = boolToU64(math.Float64frombits(regs[ins.Rs]) == math.Float64frombits(regs[ins.Rt]))
+		case OpFCmpNE:
+			regs[ins.Rd] = boolToU64(math.Float64frombits(regs[ins.Rs]) != math.Float64frombits(regs[ins.Rt]))
+		case OpFCmpLT:
+			regs[ins.Rd] = boolToU64(math.Float64frombits(regs[ins.Rs]) < math.Float64frombits(regs[ins.Rt]))
+		case OpFCmpLE:
+			regs[ins.Rd] = boolToU64(math.Float64frombits(regs[ins.Rs]) <= math.Float64frombits(regs[ins.Rt]))
+		case OpFCmpGT:
+			regs[ins.Rd] = boolToU64(math.Float64frombits(regs[ins.Rs]) > math.Float64frombits(regs[ins.Rt]))
+		case OpFCmpGE:
+			regs[ins.Rd] = boolToU64(math.Float64frombits(regs[ins.Rs]) >= math.Float64frombits(regs[ins.Rt]))
+		case OpI2F:
+			regs[ins.Rd] = math.Float64bits(float64(int64(regs[ins.Rs])))
+		case OpF2I:
+			regs[ins.Rd] = uint64(int64(math.Float64frombits(regs[ins.Rs])))
+
+		case OpLd, OpLdF, OpLdA, OpLdFA:
+			addr := int(int64(regs[ins.Rs]))
+			if !m.validAddr(addr) {
+				return 0, false, m.fault("load from invalid address %d in %s", addr, f.Name)
+			}
+			regs[ins.Rd] = m.mem[addr]
+			nat[ins.Rd] = false
+			fp := ins.Op == OpLdF || ins.Op == OpLdFA
+			if fp {
+				lat = int64(m.cfg.FPLoadLat)
+			} else {
+				lat = int64(m.cfg.IntLoadLat)
+			}
+			m.ctr.LoadsRetired++
+			m.ctr.DataAccessCycles += lat
+			if ins.Op == OpLdA || ins.Op == OpLdFA {
+				m.ctr.AdvLoads++
+				m.alatInsert(myFrame, ins.Rd, addr)
+			}
+
+		case OpLdC, OpLdFC:
+			addr := int(int64(regs[ins.Rs]))
+			m.ctr.LoadsRetired++
+			m.ctr.CheckLoads++
+			if m.alatCheck(myFrame, ins.Rd, addr) {
+				// hit: the register already holds the current value
+				lat = int64(m.cfg.CheckHitLat)
+				m.ctr.DataAccessCycles += lat
+			} else {
+				m.ctr.FailedChecks++
+				if !m.validAddr(addr) {
+					return 0, false, m.fault("check load from invalid address %d in %s", addr, f.Name)
+				}
+				regs[ins.Rd] = m.mem[addr]
+				nat[ins.Rd] = false
+				if ins.Op == OpLdFC {
+					lat = int64(m.cfg.FPLoadLat + m.cfg.CheckMissPen)
+				} else {
+					lat = int64(m.cfg.IntLoadLat + m.cfg.CheckMissPen)
+				}
+				m.ctr.DataAccessCycles += lat
+				m.alatInsert(myFrame, ins.Rd, addr)
+			}
+
+		case OpLdS, OpLdFS, OpLdSA, OpLdFSA:
+			addr := int(int64(regs[ins.Rs]))
+			m.ctr.LoadsRetired++
+			m.ctr.SpecLoads++
+			if !m.validAddr(addr) || nat[ins.Rs] {
+				// deferred fault: NaT, consumed only on paths where the
+				// original program would have faulted anyway
+				regs[ins.Rd] = 0
+				nat[ins.Rd] = true
+				m.ctr.SpecLoadFaults++
+			} else {
+				regs[ins.Rd] = m.mem[addr]
+				nat[ins.Rd] = false
+				if ins.Op == OpLdSA || ins.Op == OpLdFSA {
+					m.ctr.AdvLoads++
+					m.alatInsert(myFrame, ins.Rd, addr)
+				}
+			}
+			if ins.Op == OpLdFS || ins.Op == OpLdFSA {
+				lat = int64(m.cfg.FPLoadLat)
+			} else {
+				lat = int64(m.cfg.IntLoadLat)
+			}
+			m.ctr.DataAccessCycles += lat
+
+		case OpSt, OpStF:
+			addr := int(int64(regs[ins.Rd])) // Rd holds the address register
+			if !m.validAddr(addr) {
+				return 0, false, m.fault("store to invalid address %d in %s", addr, f.Name)
+			}
+			m.mem[addr] = regs[ins.Rs]
+			m.alatInvalidate(addr)
+			lat = int64(m.cfg.StoreLat)
+			m.ctr.Stores++
+			m.ctr.DataAccessCycles += lat
+
+		case OpAlloc:
+			n := int(int64(regs[ins.Rs]))
+			if n < 0 {
+				return 0, false, m.fault("negative allocation %d", n)
+			}
+			start := m.heapBase + m.heapNext
+			m.heapNext += n
+			for len(m.mem) < m.heapBase+m.heapNext {
+				m.mem = append(m.mem, make([]uint64, 4096)...)
+			}
+			regs[ins.Rd] = uint64(start)
+
+		case OpBr:
+			m.ctr.Cycles += lat
+			if m.cfg.Pipelined {
+				m.clock = issueT + 1
+			}
+			pc = ins.Target
+			continue
+		case OpBeqz:
+			m.ctr.Cycles += lat
+			if m.cfg.Pipelined {
+				m.clock = issueT + 1
+			}
+			if int64(regs[ins.Rs]) == 0 {
+				pc = ins.Target
+				continue
+			}
+			pc++
+			continue
+		case OpBnez:
+			m.ctr.Cycles += lat
+			if m.cfg.Pipelined {
+				m.clock = issueT + 1
+			}
+			if int64(regs[ins.Rs]) != 0 {
+				pc = ins.Target
+				continue
+			}
+			pc++
+			continue
+
+		case OpCall:
+			callee, ok := m.prog.Funcs[ins.Fn]
+			if !ok {
+				return 0, false, m.fault("call to unknown function %q", ins.Fn)
+			}
+			args := make([]uint64, len(ins.ArgRegs))
+			for i, r := range ins.ArgRegs {
+				args[i] = regs[r]
+			}
+			if m.cfg.Pipelined {
+				m.clock = issueT + 1
+			}
+			v, _, err := m.call(callee, args)
+			if err != nil {
+				return 0, false, err
+			}
+			if ins.Rd >= 0 {
+				regs[ins.Rd] = v
+				if m.cfg.Pipelined {
+					ready[ins.Rd] = m.clock
+				}
+			}
+			m.ctr.Cycles += lat
+			pc++
+			continue
+
+		case OpArg:
+			idx := int(int64(regs[ins.Rs]))
+			var v int64
+			if idx >= 0 && idx < len(m.args) {
+				v = m.args[idx]
+			}
+			regs[ins.Rd] = uint64(v)
+
+		case OpPrint:
+			parts := make([]string, len(ins.ArgRegs))
+			for i, r := range ins.ArgRegs {
+				if ins.FloatRs[i] {
+					parts[i] = fmt.Sprintf("%.6g", math.Float64frombits(regs[r]))
+				} else {
+					parts[i] = fmt.Sprintf("%d", int64(regs[r]))
+				}
+			}
+			fmt.Fprintln(m.out, strings.Join(parts, " "))
+
+		case OpRet:
+			m.ctr.Cycles += lat
+			if m.cfg.Pipelined {
+				m.clock = issueT + 1
+			}
+			if ins.Rs >= 0 {
+				return regs[ins.Rs], true, nil
+			}
+			return 0, false, nil
+
+		case OpHalt:
+			return 0, false, nil
+
+		default:
+			return 0, false, m.fault("unknown opcode %v", ins.Op)
+		}
+		m.ctr.Cycles += lat
+		if m.cfg.Pipelined {
+			m.clock = issueT + 1
+			if d := instrDst(ins); d >= 0 {
+				ready[d] = issueT + lat
+			}
+		}
+		pc++
+	}
+}
+
+// forEachSrc visits the source registers of an instruction (for the
+// pipelined scoreboard).
+func forEachSrc(ins *Instr, visit func(int)) {
+	switch ins.Op {
+	case OpMovI, OpLEA, OpNop, OpHalt, OpBr:
+		return
+	case OpSt, OpStF:
+		visit(ins.Rd) // address
+		visit(ins.Rs) // value
+	case OpLdC, OpLdFC:
+		visit(ins.Rs) // address
+		visit(ins.Rd) // the value being validated must be present
+	case OpCall, OpPrint:
+		for _, r := range ins.ArgRegs {
+			visit(r)
+		}
+	case OpBeqz, OpBnez, OpArg, OpRet:
+		if ins.Rs >= 0 {
+			visit(ins.Rs)
+		}
+	case OpMov, OpNeg, OpNot, OpI2F, OpF2I, OpFNeg,
+		OpLd, OpLdF, OpLdA, OpLdFA, OpLdS, OpLdFS, OpLdSA, OpLdFSA, OpAlloc:
+		visit(ins.Rs)
+	default: // three-register ALU
+		visit(ins.Rs)
+		visit(ins.Rt)
+	}
+}
+
+// instrDst returns the destination register of an instruction, or -1.
+func instrDst(ins *Instr) int {
+	switch ins.Op {
+	case OpSt, OpStF, OpBr, OpBeqz, OpBnez, OpRet, OpPrint, OpHalt, OpNop, OpCall:
+		return -1
+	}
+	return ins.Rd
+}

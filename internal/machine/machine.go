@@ -1,0 +1,200 @@
+// Package machine implements the EPIC-style virtual machine the framework
+// targets: an in-order execution engine with the IA-64 data-speculation
+// primitives the paper relies on — advanced loads (ld.a) that allocate
+// entries in an Advanced Load Address Table (ALAT), check loads (ld.c)
+// that are free when the entry survives and re-execute the load when a
+// conflicting store (or capacity eviction) invalidated it, and control-
+// speculative loads (ld.s) that defer faults. The cycle model follows the
+// paper's Itanium numbers: integer loads 2 cycles (L1 hit), floating-point
+// loads 9 cycles (they fetch from L2), successful checks 0 cycles.
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Opcode enumerates VM instructions.
+type Opcode int
+
+const (
+	OpNop Opcode = iota
+	// data movement
+	OpMovI // rd <- imm (64-bit pattern)
+	OpMov  // rd <- rs
+	OpLEA  // rd <- globalAddr or frameBase + off
+	// integer ALU
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg
+	OpNot
+	// float ALU (registers hold raw float64 bits)
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+	// comparisons (int result 0/1)
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpFCmpEQ
+	OpFCmpNE
+	OpFCmpLT
+	OpFCmpLE
+	OpFCmpGT
+	OpFCmpGE
+	// conversions
+	OpI2F
+	OpF2I
+	// memory
+	OpLd  // rd <- mem[rs]        (int latency)
+	OpLdF // rd <- mem[rs]        (fp latency)
+	OpLdA // advanced load: ld + ALAT allocate
+	OpLdFA
+	OpLdC // check load: free on ALAT hit, reload on miss
+	OpLdFC
+	OpLdS // control-speculative load: deferred fault (NaT on bad address)
+	OpLdFS
+	OpLdSA // speculative advanced load (ld.sa): deferred fault + ALAT entry
+	OpLdFSA
+	OpSt // mem[rd] <- rs        (invalidates ALAT entries)
+	OpStF
+	OpAlloc // rd <- heap allocation of rs slots
+	// control
+	OpBr    // unconditional branch to Target
+	OpBeqz  // branch to Target if rs == 0
+	OpBnez  // branch to Target if rs != 0
+	OpCall  // call function Fn, args in ArgRegs, result to rd
+	OpRet   // return (optional value in rs)
+	OpPrint // print operands
+	OpArg   // rd <- host argument rs
+	OpHalt
+)
+
+var opNames = map[Opcode]string{
+	OpNop: "nop", OpMovI: "movi", OpMov: "mov", OpLEA: "lea",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpNeg: "neg", OpNot: "not",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv", OpFNeg: "fneg",
+	OpCmpEQ: "cmp.eq", OpCmpNE: "cmp.ne", OpCmpLT: "cmp.lt", OpCmpLE: "cmp.le",
+	OpCmpGT: "cmp.gt", OpCmpGE: "cmp.ge",
+	OpFCmpEQ: "fcmp.eq", OpFCmpNE: "fcmp.ne", OpFCmpLT: "fcmp.lt",
+	OpFCmpLE: "fcmp.le", OpFCmpGT: "fcmp.gt", OpFCmpGE: "fcmp.ge",
+	OpI2F: "i2f", OpF2I: "f2i",
+	OpLd: "ld", OpLdF: "ldf", OpLdA: "ld.a", OpLdFA: "ldf.a",
+	OpLdC: "ld.c", OpLdFC: "ldf.c", OpLdS: "ld.s", OpLdFS: "ldf.s",
+	OpLdSA: "ld.sa", OpLdFSA: "ldf.sa",
+	OpSt: "st", OpStF: "stf", OpAlloc: "alloc",
+	OpBr: "br", OpBeqz: "beqz", OpBnez: "bnez", OpCall: "call",
+	OpRet: "ret", OpPrint: "print", OpArg: "arg", OpHalt: "halt",
+}
+
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one VM instruction. Rd/Rs/Rt are virtual register numbers
+// within the owning function's register file; Imm carries immediates,
+// global addresses and frame offsets.
+type Instr struct {
+	Op      Opcode
+	Rd      int
+	Rs      int
+	Rt      int
+	Imm     int64
+	Target  int    // branch target (instruction index within function)
+	Fn      string // callee for OpCall
+	ArgRegs []int  // argument registers for OpCall / OpPrint operands
+	FloatRs []bool // OpPrint: per-operand float flag
+	IsFrame bool   // OpLEA: Imm is a frame offset (else global address)
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpMovI:
+		return fmt.Sprintf("movi r%d, %d", i.Rd, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", i.Rd, i.Rs)
+	case OpLEA:
+		if i.IsFrame {
+			return fmt.Sprintf("lea r%d, fp+%d", i.Rd, i.Imm)
+		}
+		return fmt.Sprintf("lea r%d, g@%d", i.Rd, i.Imm)
+	case OpLd, OpLdF, OpLdA, OpLdFA, OpLdC, OpLdFC, OpLdS, OpLdFS, OpLdSA, OpLdFSA:
+		return fmt.Sprintf("%s r%d, [r%d]", i.Op, i.Rd, i.Rs)
+	case OpSt, OpStF:
+		return fmt.Sprintf("%s [r%d], r%d", i.Op, i.Rd, i.Rs)
+	case OpBr:
+		return fmt.Sprintf("br %d", i.Target)
+	case OpBeqz:
+		return fmt.Sprintf("beqz r%d, %d", i.Rs, i.Target)
+	case OpBnez:
+		return fmt.Sprintf("bnez r%d, %d", i.Rs, i.Target)
+	case OpCall:
+		return fmt.Sprintf("call %s args=%v -> r%d", i.Fn, i.ArgRegs, i.Rd)
+	case OpRet:
+		if i.Rs >= 0 {
+			return fmt.Sprintf("ret r%d", i.Rs)
+		}
+		return "ret"
+	case OpPrint:
+		return fmt.Sprintf("print %v", i.ArgRegs)
+	case OpArg:
+		return fmt.Sprintf("arg r%d, r%d", i.Rd, i.Rs)
+	case OpAlloc:
+		return fmt.Sprintf("alloc r%d, r%d", i.Rd, i.Rs)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs, i.Rt)
+	}
+}
+
+// FuncCode is the compiled form of one function.
+type FuncCode struct {
+	Name      string
+	Instrs    []Instr
+	NumRegs   int
+	FrameSize int
+	NumParams int
+}
+
+// Program is a whole compiled program.
+type Program struct {
+	Funcs      map[string]*FuncCode
+	GlobSize   int
+	GlobalInit map[int]uint64
+}
+
+// String disassembles the program deterministically (functions sorted by
+// name).
+func (p *Program) String() string {
+	var names []string
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, name := range names {
+		f := p.Funcs[name]
+		s += fmt.Sprintf("func %s (regs=%d frame=%d):\n", name, f.NumRegs, f.FrameSize)
+		for i, ins := range f.Instrs {
+			s += fmt.Sprintf("  %4d: %s\n", i, ins)
+		}
+	}
+	return s
+}

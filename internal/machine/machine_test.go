@@ -1,0 +1,427 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildProg wraps a main instruction sequence into a runnable program.
+func buildProg(instrs []Instr, numRegs, globSize int) *Program {
+	return &Program{
+		Funcs: map[string]*FuncCode{
+			"main": {Name: "main", Instrs: instrs, NumRegs: numRegs},
+		},
+		GlobSize:   globSize,
+		GlobalInit: map[int]uint64{},
+	}
+}
+
+func run(t *testing.T, p *Program, args ...int64) *Result {
+	t.Helper()
+	res, err := Run(p, args, Defaults(), nil)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, p)
+	}
+	return res
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	p := buildProg([]Instr{
+		{Op: OpMovI, Rd: 0, Imm: 6},
+		{Op: OpMovI, Rd: 1, Imm: 7},
+		{Op: OpMul, Rd: 2, Rs: 0, Rt: 1},
+		{Op: OpRet, Rs: 2},
+	}, 3, 0)
+	if res := run(t, p); res.Ret != 42 {
+		t.Errorf("ret = %d, want 42", res.Ret)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	p := buildProg([]Instr{
+		{Op: OpLEA, Rd: 0, Imm: 3}, // &global slot 3
+		{Op: OpMovI, Rd: 1, Imm: 99},
+		{Op: OpSt, Rd: 0, Rs: 1},
+		{Op: OpLd, Rd: 2, Rs: 0},
+		{Op: OpRet, Rs: 2},
+	}, 3, 8)
+	res := run(t, p)
+	if res.Ret != 99 {
+		t.Errorf("ret = %d, want 99", res.Ret)
+	}
+	if res.Counters.LoadsRetired != 1 || res.Counters.Stores != 1 {
+		t.Errorf("counters: %+v", res.Counters)
+	}
+}
+
+func TestALATHitAndInvalidation(t *testing.T) {
+	// ld.a r2,[r0]; store to a DIFFERENT address; ld.c r2,[r0] → hit.
+	// then store to the SAME address; ld.c → miss.
+	p := buildProg([]Instr{
+		{Op: OpLEA, Rd: 0, Imm: 0}, // addr A
+		{Op: OpLEA, Rd: 1, Imm: 1}, // addr B
+		{Op: OpMovI, Rd: 3, Imm: 5},
+		{Op: OpSt, Rd: 0, Rs: 3},  // mem[A] = 5
+		{Op: OpLdA, Rd: 2, Rs: 0}, // advanced load A
+		{Op: OpSt, Rd: 1, Rs: 3},  // store B: no conflict
+		{Op: OpLdC, Rd: 2, Rs: 0}, // check: HIT
+		{Op: OpMovI, Rd: 4, Imm: 77},
+		{Op: OpSt, Rd: 0, Rs: 4},  // store A: invalidates
+		{Op: OpLdC, Rd: 2, Rs: 0}, // check: MISS, reloads 77
+		{Op: OpRet, Rs: 2},
+	}, 5, 8)
+	res := run(t, p)
+	if res.Ret != 77 {
+		t.Errorf("check recovery failed: ret = %d, want 77", res.Ret)
+	}
+	if res.Counters.CheckLoads != 2 {
+		t.Errorf("check loads = %d, want 2", res.Counters.CheckLoads)
+	}
+	if res.Counters.FailedChecks != 1 {
+		t.Errorf("failed checks = %d, want 1", res.Counters.FailedChecks)
+	}
+	if res.Counters.AdvLoads != 1 {
+		t.Errorf("adv loads = %d, want 1", res.Counters.AdvLoads)
+	}
+}
+
+func TestALATCheckWithoutAdvancedLoadMisses(t *testing.T) {
+	p := buildProg([]Instr{
+		{Op: OpLEA, Rd: 0, Imm: 0},
+		{Op: OpMovI, Rd: 1, Imm: 9},
+		{Op: OpSt, Rd: 0, Rs: 1},
+		{Op: OpLdC, Rd: 2, Rs: 0}, // no ld.a before: must reload
+		{Op: OpRet, Rs: 2},
+	}, 3, 4)
+	res := run(t, p)
+	if res.Ret != 9 {
+		t.Errorf("orphan check returned %d, want 9", res.Ret)
+	}
+	if res.Counters.FailedChecks != 1 {
+		t.Errorf("failed = %d, want 1", res.Counters.FailedChecks)
+	}
+}
+
+func TestALATAddressChangeMisses(t *testing.T) {
+	// ld.a on address A; ld.c with the register now holding address B
+	p := buildProg([]Instr{
+		{Op: OpLEA, Rd: 0, Imm: 0},
+		{Op: OpMovI, Rd: 1, Imm: 11},
+		{Op: OpSt, Rd: 0, Rs: 1},
+		{Op: OpLEA, Rd: 3, Imm: 1},
+		{Op: OpMovI, Rd: 4, Imm: 22},
+		{Op: OpSt, Rd: 3, Rs: 4},
+		{Op: OpLdA, Rd: 2, Rs: 0}, // entry (r2, A)
+		{Op: OpLdC, Rd: 2, Rs: 3}, // checks address B: miss, reload 22
+		{Op: OpRet, Rs: 2},
+	}, 5, 4)
+	res := run(t, p)
+	if res.Ret != 22 {
+		t.Errorf("ret = %d, want 22", res.Ret)
+	}
+	if res.Counters.FailedChecks != 1 {
+		t.Errorf("failed = %d, want 1", res.Counters.FailedChecks)
+	}
+}
+
+func TestALATCapacityEviction(t *testing.T) {
+	// more advanced loads than ALAT entries: the first entry is evicted
+	cfg := Defaults()
+	cfg.ALATSize = 2
+	var instrs []Instr
+	instrs = append(instrs,
+		Instr{Op: OpLEA, Rd: 0, Imm: 0},
+		Instr{Op: OpMovI, Rd: 1, Imm: 1},
+		Instr{Op: OpSt, Rd: 0, Rs: 1},
+	)
+	// 3 advanced loads to distinct registers
+	for r := 2; r <= 4; r++ {
+		instrs = append(instrs, Instr{Op: OpLdA, Rd: r, Rs: 0})
+	}
+	// check the first one: its entry is gone
+	instrs = append(instrs,
+		Instr{Op: OpLdC, Rd: 2, Rs: 0},
+		Instr{Op: OpRet, Rs: 2},
+	)
+	p := buildProg(instrs, 6, 4)
+	res, err := Run(p, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.ALATEvictions == 0 {
+		t.Error("expected at least one eviction with a 2-entry ALAT")
+	}
+	if res.Counters.FailedChecks != 1 {
+		t.Errorf("failed = %d, want 1 (entry evicted)", res.Counters.FailedChecks)
+	}
+}
+
+func TestSpeculativeLoadDefersFault(t *testing.T) {
+	// ld.s from an unmapped address must not fault; the NaT value is 0
+	p := buildProg([]Instr{
+		{Op: OpMovI, Rd: 0, Imm: 1 << 40}, // way out of range
+		{Op: OpLdS, Rd: 1, Rs: 0},
+		{Op: OpMovI, Rd: 1, Imm: 4}, // overwrite; NaT cleared
+		{Op: OpRet, Rs: 1},
+	}, 2, 4)
+	res := run(t, p)
+	if res.Ret != 4 {
+		t.Errorf("ret = %d", res.Ret)
+	}
+	if res.Counters.SpecLoadFaults != 1 {
+		t.Errorf("spec faults = %d, want 1", res.Counters.SpecLoadFaults)
+	}
+	// a plain load from the same address must fault
+	p2 := buildProg([]Instr{
+		{Op: OpMovI, Rd: 0, Imm: 1 << 40},
+		{Op: OpLd, Rd: 1, Rs: 0},
+		{Op: OpRet, Rs: 1},
+	}, 2, 4)
+	if _, err := Run(p2, nil, Defaults(), nil); err == nil {
+		t.Error("plain load from invalid address must fault")
+	}
+}
+
+func TestLdSAInsertsALATEntry(t *testing.T) {
+	p := buildProg([]Instr{
+		{Op: OpLEA, Rd: 0, Imm: 0},
+		{Op: OpMovI, Rd: 1, Imm: 8},
+		{Op: OpSt, Rd: 0, Rs: 1},
+		{Op: OpLdSA, Rd: 2, Rs: 0},
+		{Op: OpLdC, Rd: 2, Rs: 0},
+		{Op: OpRet, Rs: 2},
+	}, 3, 4)
+	res := run(t, p)
+	if res.Ret != 8 {
+		t.Errorf("ret = %d", res.Ret)
+	}
+	if res.Counters.FailedChecks != 0 {
+		t.Errorf("ld.sa must establish the ALAT entry: %+v", res.Counters)
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	cfg := Defaults()
+	p := buildProg([]Instr{
+		{Op: OpLEA, Rd: 0, Imm: 0},
+		{Op: OpLd, Rd: 1, Rs: 0},  // IntLoadLat
+		{Op: OpLdF, Rd: 2, Rs: 0}, // FPLoadLat
+		{Op: OpRet, Rs: 1},
+	}, 3, 4)
+	res := run(t, p)
+	want := int64(cfg.CallOverhead) + 1 /*lea*/ + int64(cfg.IntLoadLat) + int64(cfg.FPLoadLat) + 1 /*ret*/
+	if res.Counters.Cycles != want {
+		t.Errorf("cycles = %d, want %d", res.Counters.Cycles, want)
+	}
+	if res.Counters.DataAccessCycles != int64(cfg.IntLoadLat+cfg.FPLoadLat) {
+		t.Errorf("data cycles = %d", res.Counters.DataAccessCycles)
+	}
+}
+
+func TestBranchesAndCalls(t *testing.T) {
+	p := &Program{
+		Funcs: map[string]*FuncCode{
+			"main": {Name: "main", NumRegs: 3, Instrs: []Instr{
+				{Op: OpMovI, Rd: 0, Imm: 5},
+				{Op: OpCall, Fn: "double", ArgRegs: []int{0}, Rd: 1},
+				{Op: OpRet, Rs: 1},
+			}},
+			"double": {Name: "double", NumRegs: 2, NumParams: 1, Instrs: []Instr{
+				{Op: OpAdd, Rd: 1, Rs: 0, Rt: 0},
+				{Op: OpRet, Rs: 1},
+			}},
+		},
+		GlobalInit: map[int]uint64{},
+	}
+	if res := run(t, p); res.Ret != 10 {
+		t.Errorf("ret = %d, want 10", res.Ret)
+	}
+}
+
+func TestDivByZeroFaults(t *testing.T) {
+	p := buildProg([]Instr{
+		{Op: OpMovI, Rd: 0, Imm: 1},
+		{Op: OpMovI, Rd: 1, Imm: 0},
+		{Op: OpDiv, Rd: 2, Rs: 0, Rt: 1},
+		{Op: OpRet, Rs: 2},
+	}, 3, 0)
+	if _, err := Run(p, nil, Defaults(), nil); err == nil || !strings.Contains(err.Error(), "division") {
+		t.Errorf("expected division fault, got %v", err)
+	}
+}
+
+func TestRecursionFrameIsolation(t *testing.T) {
+	// ALAT entries are frame-tagged: a callee's ld.a on the same register
+	// number must not satisfy the caller's ld.c.
+	p := &Program{
+		Funcs: map[string]*FuncCode{
+			"main": {Name: "main", NumRegs: 4, Instrs: []Instr{
+				{Op: OpLEA, Rd: 0, Imm: 0},
+				{Op: OpMovI, Rd: 1, Imm: 1},
+				{Op: OpSt, Rd: 0, Rs: 1},
+				{Op: OpCall, Fn: "inner", ArgRegs: nil, Rd: -1},
+				{Op: OpLdC, Rd: 2, Rs: 0}, // no ld.a in THIS frame → miss
+				{Op: OpRet, Rs: 2},
+			}},
+			"inner": {Name: "inner", NumRegs: 3, Instrs: []Instr{
+				{Op: OpLEA, Rd: 0, Imm: 0},
+				{Op: OpLdA, Rd: 2, Rs: 0}, // same reg number 2, different frame
+				{Op: OpRet, Rs: -1},
+			}},
+		},
+		GlobSize:   4,
+		GlobalInit: map[int]uint64{},
+	}
+	res := run(t, p)
+	if res.Counters.FailedChecks != 1 {
+		t.Errorf("cross-frame ALAT hit: %+v", res.Counters)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	cfg := Defaults()
+	cfg.MaxSteps = 100
+	p := buildProg([]Instr{
+		{Op: OpBr, Target: 0},
+	}, 1, 0)
+	if _, err := Run(p, nil, cfg, nil); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("expected step limit, got %v", err)
+	}
+}
+
+func TestPrintFormatting(t *testing.T) {
+	p := buildProg([]Instr{
+		{Op: OpMovI, Rd: 0, Imm: -7},
+		{Op: OpMovI, Rd: 1, Imm: int64(f64bits(2.5))},
+		{Op: OpPrint, ArgRegs: []int{0, 1}, FloatRs: []bool{false, true}},
+		{Op: OpRet, Rs: -1},
+	}, 2, 0)
+	res := run(t, p)
+	if res.Output != "-7 2.5\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// TestALUSemantics exercises every ALU opcode against Go's semantics.
+func TestALUSemantics(t *testing.T) {
+	iCases := []struct {
+		op   Opcode
+		a, b int64
+		want int64
+	}{
+		{OpAdd, 7, -3, 4},
+		{OpSub, 7, -3, 10},
+		{OpMul, -6, 7, -42},
+		{OpDiv, -7, 2, -3},
+		{OpMod, -7, 2, -1},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpShl, 3, 4, 48},
+		{OpShr, -16, 2, -4},
+		{OpCmpEQ, 5, 5, 1},
+		{OpCmpNE, 5, 5, 0},
+		{OpCmpLT, -2, 1, 1},
+		{OpCmpLE, 1, 1, 1},
+		{OpCmpGT, 1, 2, 0},
+		{OpCmpGE, 2, 2, 1},
+	}
+	for _, c := range iCases {
+		p := buildProg([]Instr{
+			{Op: OpMovI, Rd: 0, Imm: c.a},
+			{Op: OpMovI, Rd: 1, Imm: c.b},
+			{Op: c.op, Rd: 2, Rs: 0, Rt: 1},
+			{Op: OpRet, Rs: 2},
+		}, 3, 0)
+		if res := run(t, p); res.Ret != c.want {
+			t.Errorf("%v(%d, %d) = %d, want %d", c.op, c.a, c.b, res.Ret, c.want)
+		}
+	}
+
+	fCases := []struct {
+		op   Opcode
+		a, b float64
+		want float64
+	}{
+		{OpFAdd, 1.5, 2.25, 3.75},
+		{OpFSub, 1.5, 2.25, -0.75},
+		{OpFMul, 1.5, 2.0, 3.0},
+		{OpFDiv, 7.0, 2.0, 3.5},
+	}
+	for _, c := range fCases {
+		p := buildProg([]Instr{
+			{Op: OpMovI, Rd: 0, Imm: int64(f64bits(c.a))},
+			{Op: OpMovI, Rd: 1, Imm: int64(f64bits(c.b))},
+			{Op: c.op, Rd: 2, Rs: 0, Rt: 1},
+			{Op: OpF2I, Rd: 3, Rs: 2},
+			{Op: OpPrint, ArgRegs: []int{2}, FloatRs: []bool{true}},
+			{Op: OpRet, Rs: 3},
+		}, 4, 0)
+		res := run(t, p)
+		want := fmt.Sprintf("%.6g\n", c.want)
+		if res.Output != want {
+			t.Errorf("%v(%g, %g): output %q, want %q", c.op, c.a, c.b, res.Output, want)
+		}
+	}
+
+	fCmp := []struct {
+		op   Opcode
+		a, b float64
+		want int64
+	}{
+		{OpFCmpEQ, 1.5, 1.5, 1},
+		{OpFCmpNE, 1.5, 1.5, 0},
+		{OpFCmpLT, 1.0, 1.5, 1},
+		{OpFCmpLE, 1.5, 1.5, 1},
+		{OpFCmpGT, 1.0, 1.5, 0},
+		{OpFCmpGE, 1.5, 1.5, 1},
+	}
+	for _, c := range fCmp {
+		p := buildProg([]Instr{
+			{Op: OpMovI, Rd: 0, Imm: int64(f64bits(c.a))},
+			{Op: OpMovI, Rd: 1, Imm: int64(f64bits(c.b))},
+			{Op: c.op, Rd: 2, Rs: 0, Rt: 1},
+			{Op: OpRet, Rs: 2},
+		}, 3, 0)
+		if res := run(t, p); res.Ret != c.want {
+			t.Errorf("%v(%g, %g) = %d, want %d", c.op, c.a, c.b, res.Ret, c.want)
+		}
+	}
+}
+
+// TestUnaryAndConversions covers neg/not/i2f/f2i and fneg.
+func TestUnaryAndConversions(t *testing.T) {
+	p := buildProg([]Instr{
+		{Op: OpMovI, Rd: 0, Imm: -9},
+		{Op: OpNeg, Rd: 1, Rs: 0},  // 9
+		{Op: OpNot, Rd: 2, Rs: 1},  // 0
+		{Op: OpI2F, Rd: 3, Rs: 1},  // 9.0
+		{Op: OpFNeg, Rd: 4, Rs: 3}, // -9.0
+		{Op: OpF2I, Rd: 5, Rs: 4},  // -9
+		{Op: OpPrint, ArgRegs: []int{1, 2, 3, 4, 5}, FloatRs: []bool{false, false, true, true, false}},
+		{Op: OpRet, Rs: 5},
+	}, 6, 0)
+	res := run(t, p)
+	if res.Output != "9 0 9 -9 -9\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+// TestMovPropagatesNaT: register moves carry the NaT bit.
+func TestMovPropagatesNaT(t *testing.T) {
+	p := buildProg([]Instr{
+		{Op: OpMovI, Rd: 0, Imm: 1 << 40},
+		{Op: OpLdS, Rd: 1, Rs: 0}, // NaT
+		{Op: OpMov, Rd: 2, Rs: 1}, // NaT propagates
+		{Op: OpLdS, Rd: 3, Rs: 2}, // NaT address → deferred again
+		{Op: OpRet, Rs: 3},
+	}, 4, 4)
+	res := run(t, p)
+	if res.Counters.SpecLoadFaults != 2 {
+		t.Errorf("spec faults = %d, want 2 (NaT propagation through mov)", res.Counters.SpecLoadFaults)
+	}
+}

@@ -1,0 +1,196 @@
+// Package profile defines the profile data the speculative framework feeds
+// back into the compiler: edge/block execution frequencies (for control
+// speculation) and per-site abstract-memory-location (LOC) sets from alias
+// profiling (for data speculation), following §3.2.1 of Lin et al.
+// (PLDI 2003).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// LocKind classifies abstract memory locations.
+type LocKind int
+
+const (
+	// LocGlobal is a file-scope variable.
+	LocGlobal LocKind = iota
+	// LocLocal is a function-scope variable (named per function; all
+	// activations of a recursive function share one LOC, the usual
+	// profiling granularity).
+	LocLocal
+	// LocHeap is a heap object named by its allocation site, the
+	// granularity choice of Chen et al. (LCPC 2002), the paper's [4].
+	LocHeap
+)
+
+// Loc is an abstract memory location (storage name). Comparable; used as a
+// map key in LOC sets.
+type Loc struct {
+	Kind LocKind
+	Sym  *ir.Sym // for LocGlobal / LocLocal
+	Fn   *ir.Func
+	Site int // for LocHeap: allocation-site id
+	// Ctx is the immediate caller's call-site id for heap objects
+	// allocated inside a callee (1-level call-path naming, the
+	// granularity of Chen et al. [4]); 0 for allocations in main.
+	Ctx int
+}
+
+func (l Loc) String() string {
+	switch l.Kind {
+	case LocGlobal:
+		return l.Sym.Name
+	case LocLocal:
+		return l.Fn.Name + ":" + l.Sym.Name
+	case LocHeap:
+		if l.Ctx != 0 {
+			return fmt.Sprintf("heap@%d/%d", l.Site, l.Ctx)
+		}
+		return fmt.Sprintf("heap@%d", l.Site)
+	}
+	return "loc?"
+}
+
+// LocSet is a set of abstract memory locations.
+type LocSet map[Loc]struct{}
+
+// Add inserts a location.
+func (s LocSet) Add(l Loc) { s[l] = struct{}{} }
+
+// Has reports membership.
+func (s LocSet) Has(l Loc) bool { _, ok := s[l]; return ok }
+
+// AddAll inserts every element of t.
+func (s LocSet) AddAll(t LocSet) {
+	for l := range t {
+		s[l] = struct{}{}
+	}
+}
+
+// String renders the set deterministically for golden tests.
+func (s LocSet) String() string {
+	var names []string
+	for l := range s {
+		names = append(names, l.String())
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// Profile aggregates everything a profiling run of the interpreter
+// collects.
+type Profile struct {
+	// BlockCount is the execution count of each basic block.
+	BlockCount map[*ir.Block]uint64
+	// EdgeCount[b][i] is the count of the edge b -> b.Succs[i].
+	EdgeCount map[*ir.Block][]uint64
+
+	// LoadLocs maps an indirect-load site id to the LOCs it read.
+	LoadLocs map[int]LocSet
+	// StoreLocs maps an indirect-store site id to the LOCs it wrote.
+	StoreLocs map[int]LocSet
+	// CallMod / CallRef map a call-site id to the LOCs (transitively)
+	// modified / referenced during the call.
+	CallMod map[int]LocSet
+	CallRef map[int]LocSet
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{
+		BlockCount: map[*ir.Block]uint64{},
+		EdgeCount:  map[*ir.Block][]uint64{},
+		LoadLocs:   map[int]LocSet{},
+		StoreLocs:  map[int]LocSet{},
+		CallMod:    map[int]LocSet{},
+		CallRef:    map[int]LocSet{},
+	}
+}
+
+// loadSet returns (creating if needed) the LOC set for a load site.
+func (p *Profile) LoadSet(site int) LocSet {
+	s := p.LoadLocs[site]
+	if s == nil {
+		s = LocSet{}
+		p.LoadLocs[site] = s
+	}
+	return s
+}
+
+// StoreSet returns (creating if needed) the LOC set for a store site.
+func (p *Profile) StoreSet(site int) LocSet {
+	s := p.StoreLocs[site]
+	if s == nil {
+		s = LocSet{}
+		p.StoreLocs[site] = s
+	}
+	return s
+}
+
+// ModSet returns (creating if needed) the mod set for a call site.
+func (p *Profile) ModSet(site int) LocSet {
+	s := p.CallMod[site]
+	if s == nil {
+		s = LocSet{}
+		p.CallMod[site] = s
+	}
+	return s
+}
+
+// RefSet returns (creating if needed) the ref set for a call site.
+func (p *Profile) RefSet(site int) LocSet {
+	s := p.CallRef[site]
+	if s == nil {
+		s = LocSet{}
+		p.CallRef[site] = s
+	}
+	return s
+}
+
+// ApplyEdges writes the collected edge counts into the CFG's Freq/EdgeFreq
+// fields, normalizing against the entry count of each function. Blocks
+// never executed get frequency 0.
+func (p *Profile) ApplyEdges(prog *ir.Program) {
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			b.Freq = float64(p.BlockCount[b])
+			counts := p.EdgeCount[b]
+			b.EdgeFreq = make([]float64, len(b.Succs))
+			for i := range b.Succs {
+				if i < len(counts) {
+					b.EdgeFreq[i] = float64(counts[i])
+				}
+			}
+		}
+	}
+}
+
+// StaticEstimate fills Freq/EdgeFreq with a simple static heuristic (Ball-
+// Larus style): loops assumed to iterate 10 times, branches split 50/50.
+// Used when no edge profile is available.
+func StaticEstimate(prog *ir.Program) {
+	for _, fn := range prog.Funcs {
+		dt := ir.BuildDomTree(fn)
+		_, inLoop := ir.FindLoops(fn, dt)
+		for _, b := range fn.Blocks {
+			depth := 0
+			if l := inLoop[b]; l != nil {
+				depth = l.Depth
+			}
+			freq := 1.0
+			for i := 0; i < depth; i++ {
+				freq *= 10
+			}
+			b.Freq = freq
+			b.EdgeFreq = make([]float64, len(b.Succs))
+			for i := range b.Succs {
+				b.EdgeFreq[i] = freq / float64(len(b.Succs))
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestLocStringForms(t *testing.T) {
+	prog := ir.NewProgram()
+	g := prog.NewGlobal("glob", ir.IntType)
+	f := prog.NewFunc("fn", ir.VoidType)
+	l := f.NewSym("loc", ir.IntType, ir.SymLocal)
+
+	cases := []struct {
+		loc  Loc
+		want string
+	}{
+		{Loc{Kind: LocGlobal, Sym: g}, "glob"},
+		{Loc{Kind: LocLocal, Sym: l, Fn: f}, "fn:loc"},
+		{Loc{Kind: LocHeap, Site: 7}, "heap@7"},
+		{Loc{Kind: LocHeap, Site: 7, Ctx: 3}, "heap@7/3"},
+	}
+	for _, c := range cases {
+		if got := c.loc.String(); got != c.want {
+			t.Errorf("Loc.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLocSetOperations(t *testing.T) {
+	prog := ir.NewProgram()
+	a := prog.NewGlobal("a", ir.IntType)
+	b := prog.NewGlobal("b", ir.IntType)
+	s := LocSet{}
+	la := Loc{Kind: LocGlobal, Sym: a}
+	lb := Loc{Kind: LocGlobal, Sym: b}
+	s.Add(la)
+	if !s.Has(la) || s.Has(lb) {
+		t.Error("Add/Has broken")
+	}
+	s2 := LocSet{}
+	s2.Add(lb)
+	s.AddAll(s2)
+	if !s.Has(lb) {
+		t.Error("AddAll broken")
+	}
+	// deterministic, sorted rendering
+	if got := s.String(); got != "{a, b}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestProfileSetAccessorsCreateOnDemand(t *testing.T) {
+	p := New()
+	p.LoadSet(1).Add(Loc{Kind: LocHeap, Site: 9})
+	p.StoreSet(2).Add(Loc{Kind: LocHeap, Site: 9})
+	p.ModSet(3).Add(Loc{Kind: LocHeap, Site: 9})
+	p.RefSet(4).Add(Loc{Kind: LocHeap, Site: 9})
+	if len(p.LoadLocs) != 1 || len(p.StoreLocs) != 1 || len(p.CallMod) != 1 || len(p.CallRef) != 1 {
+		t.Error("set accessors did not register their maps")
+	}
+	// repeated access returns the same set
+	if len(p.LoadSet(1)) != 1 {
+		t.Error("LoadSet not memoized")
+	}
+}
+
+// buildDiamond constructs entry → (left|right) → join → exit.
+func buildDiamond() (*ir.Program, *ir.Func, []*ir.Block) {
+	prog := ir.NewProgram()
+	f := prog.NewFunc("main", ir.IntType)
+	entry, left, right, join := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	f.Entry = entry
+	ir.Connect(entry, left)
+	ir.Connect(entry, right)
+	ir.Connect(left, join)
+	ir.Connect(right, join)
+	entry.Term = ir.Term{Kind: ir.TermCond, Cond: &ir.ConstInt{Val: 1}}
+	left.Term = ir.Term{Kind: ir.TermJump}
+	right.Term = ir.Term{Kind: ir.TermJump}
+	join.Term = ir.Term{Kind: ir.TermRet}
+	return prog, f, []*ir.Block{entry, left, right, join}
+}
+
+func TestApplyEdges(t *testing.T) {
+	prog, _, blocks := buildDiamond()
+	p := New()
+	p.BlockCount[blocks[0]] = 100
+	p.BlockCount[blocks[1]] = 70
+	p.BlockCount[blocks[2]] = 30
+	p.BlockCount[blocks[3]] = 100
+	p.EdgeCount[blocks[0]] = []uint64{70, 30}
+	p.ApplyEdges(prog)
+	if blocks[0].Freq != 100 {
+		t.Errorf("entry freq = %v", blocks[0].Freq)
+	}
+	if blocks[0].EdgeFreq[0] != 70 || blocks[0].EdgeFreq[1] != 30 {
+		t.Errorf("edge freqs = %v", blocks[0].EdgeFreq)
+	}
+	// unexecuted functions keep zero frequencies without panicking
+	if blocks[1].EdgeFreq == nil {
+		t.Error("EdgeFreq slices must always be allocated")
+	}
+}
+
+func TestStaticEstimateLoopsAreHot(t *testing.T) {
+	prog := ir.NewProgram()
+	f := prog.NewFunc("main", ir.IntType)
+	entry, header, body, exit := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	f.Entry = entry
+	ir.Connect(entry, header)
+	ir.Connect(header, body)
+	ir.Connect(header, exit)
+	ir.Connect(body, header)
+	entry.Term = ir.Term{Kind: ir.TermJump}
+	header.Term = ir.Term{Kind: ir.TermCond, Cond: &ir.ConstInt{Val: 1}}
+	body.Term = ir.Term{Kind: ir.TermJump}
+	exit.Term = ir.Term{Kind: ir.TermRet}
+
+	StaticEstimate(prog)
+	if header.Freq <= entry.Freq {
+		t.Errorf("loop header (%v) should be hotter than entry (%v)", header.Freq, entry.Freq)
+	}
+	if body.Freq <= exit.Freq {
+		t.Errorf("loop body (%v) should be hotter than exit (%v)", body.Freq, exit.Freq)
+	}
+}
+
+func TestLocSetStringStable(t *testing.T) {
+	prog := ir.NewProgram()
+	syms := []*ir.Sym{
+		prog.NewGlobal("zz", ir.IntType),
+		prog.NewGlobal("aa", ir.IntType),
+		prog.NewGlobal("mm", ir.IntType),
+	}
+	s := LocSet{}
+	for _, sym := range syms {
+		s.Add(Loc{Kind: LocGlobal, Sym: sym})
+	}
+	first := s.String()
+	for i := 0; i < 20; i++ {
+		if s.String() != first {
+			t.Fatal("LocSet.String() not deterministic")
+		}
+	}
+	if !strings.HasPrefix(first, "{aa") {
+		t.Errorf("not sorted: %q", first)
+	}
+}
+
+func TestProfileSerializationRoundTrip(t *testing.T) {
+	prog, fn, blocks := func() (*ir.Program, *ir.Func, []*ir.Block) {
+		return buildDiamondNamed()
+	}()
+	_ = fn
+	p := New()
+	p.BlockCount[blocks[0]] = 42
+	p.EdgeCount[blocks[0]] = []uint64{30, 12}
+	g := prog.Globals[0]
+	p.LoadSet(5).Add(Loc{Kind: LocGlobal, Sym: g})
+	p.LoadSet(5).Add(Loc{Kind: LocHeap, Site: 9, Ctx: 2})
+	p.StoreSet(6).Add(Loc{Kind: LocLocal, Sym: fnLocal(prog), Fn: prog.Funcs[0]})
+	p.ModSet(7).Add(Loc{Kind: LocGlobal, Sym: g})
+	p.RefSet(8).Add(Loc{Kind: LocHeap, Site: 3, Ctx: 0})
+
+	data, err := Marshal(prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Unmarshal(prog, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.BlockCount[blocks[0]] != 42 {
+		t.Errorf("block count lost: %v", p2.BlockCount)
+	}
+	if len(p2.EdgeCount[blocks[0]]) != 2 || p2.EdgeCount[blocks[0]][0] != 30 {
+		t.Errorf("edge counts lost: %v", p2.EdgeCount)
+	}
+	if p.LoadLocs[5].String() != p2.LoadLocs[5].String() {
+		t.Errorf("load locs: %s != %s", p2.LoadLocs[5], p.LoadLocs[5])
+	}
+	if p.StoreLocs[6].String() != p2.StoreLocs[6].String() {
+		t.Errorf("store locs: %s != %s", p2.StoreLocs[6], p.StoreLocs[6])
+	}
+	if p.CallMod[7].String() != p2.CallMod[7].String() {
+		t.Errorf("mod locs mismatch")
+	}
+	if p.CallRef[8].String() != p2.CallRef[8].String() {
+		t.Errorf("ref locs mismatch")
+	}
+}
+
+func TestUnmarshalToleratesStaleLocs(t *testing.T) {
+	prog, _, _ := buildDiamondNamed()
+	data := []byte(`{"version":1,"loads":{"5":["g:nosuchglobal","h:1/0"]}}`)
+	p, err := Unmarshal(prog, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.LoadLocs[5].Has(Loc{Kind: LocHeap, Site: 1}) {
+		t.Error("valid loc dropped alongside the stale one")
+	}
+	if len(p.LoadLocs[5]) != 1 {
+		t.Errorf("stale loc kept: %s", p.LoadLocs[5])
+	}
+}
+
+func TestUnmarshalRejectsBadVersionAndJSON(t *testing.T) {
+	prog, _, _ := buildDiamondNamed()
+	if _, err := Unmarshal(prog, []byte(`{"version":2}`)); err == nil {
+		t.Error("version 2 accepted")
+	}
+	if _, err := Unmarshal(prog, []byte(`{nonsense`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+// buildDiamondNamed is buildDiamond plus a global and a local symbol.
+func buildDiamondNamed() (*ir.Program, *ir.Func, []*ir.Block) {
+	prog, f, blocks := buildDiamond()
+	prog.NewGlobal("gv", ir.IntType)
+	f.NewSym("lv", ir.IntType, ir.SymLocal)
+	return prog, f, blocks
+}
+
+func fnLocal(prog *ir.Program) *ir.Sym {
+	for _, s := range prog.Funcs[0].Syms {
+		if s.Name == "lv" {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// serialized is the on-disk JSON form of a profile. Reference sites are
+// keyed by their program-unique site ids and blocks by "func:Bn"; both are
+// stable across compiles of identical source (lowering is deterministic).
+type serialized struct {
+	Version int                 `json:"version"`
+	Blocks  map[string]uint64   `json:"blocks,omitempty"`
+	Edges   map[string][]uint64 `json:"edges,omitempty"`
+	Loads   map[string][]string `json:"loads,omitempty"`
+	Stores  map[string][]string `json:"stores,omitempty"`
+	CallMod map[string][]string `json:"callmod,omitempty"`
+	CallRef map[string][]string `json:"callref,omitempty"`
+}
+
+// encodeLoc renders a Loc as a stable string.
+func encodeLoc(l Loc) string {
+	switch l.Kind {
+	case LocGlobal:
+		return "g:" + l.Sym.Name
+	case LocLocal:
+		return "l:" + l.Fn.Name + ":" + l.Sym.Name
+	case LocHeap:
+		return fmt.Sprintf("h:%d/%d", l.Site, l.Ctx)
+	}
+	return ""
+}
+
+// decodeLoc parses an encoded Loc against a program's symbols.
+func decodeLoc(prog *ir.Program, s string) (Loc, error) {
+	switch {
+	case strings.HasPrefix(s, "g:"):
+		name := s[2:]
+		for _, g := range prog.Globals {
+			if g.Name == name {
+				return Loc{Kind: LocGlobal, Sym: g}, nil
+			}
+		}
+		return Loc{}, fmt.Errorf("profile: unknown global %q", name)
+	case strings.HasPrefix(s, "l:"):
+		parts := strings.SplitN(s[2:], ":", 2)
+		if len(parts) != 2 {
+			return Loc{}, fmt.Errorf("profile: malformed local loc %q", s)
+		}
+		fn, ok := prog.FuncMap[parts[0]]
+		if !ok {
+			return Loc{}, fmt.Errorf("profile: unknown function %q", parts[0])
+		}
+		for _, sym := range fn.Syms {
+			if sym.Name == parts[1] {
+				return Loc{Kind: LocLocal, Sym: sym, Fn: fn}, nil
+			}
+		}
+		return Loc{}, fmt.Errorf("profile: unknown local %q in %q", parts[1], parts[0])
+	case strings.HasPrefix(s, "h:"):
+		var site, ctx int
+		if _, err := fmt.Sscanf(s[2:], "%d/%d", &site, &ctx); err != nil {
+			return Loc{}, fmt.Errorf("profile: malformed heap loc %q", s)
+		}
+		return Loc{Kind: LocHeap, Site: site, Ctx: ctx}, nil
+	}
+	return Loc{}, fmt.Errorf("profile: malformed loc %q", s)
+}
+
+// blockKeys builds the stable name of every block.
+func blockKeys(prog *ir.Program) map[*ir.Block]string {
+	m := map[*ir.Block]string{}
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			m[b] = fmt.Sprintf("%s:B%d", f.Name, b.ID)
+		}
+	}
+	return m
+}
+
+// Marshal serializes a profile collected on prog.
+func Marshal(prog *ir.Program, p *Profile) ([]byte, error) {
+	out := serialized{
+		Version: 1,
+		Blocks:  map[string]uint64{},
+		Edges:   map[string][]uint64{},
+		Loads:   map[string][]string{},
+		Stores:  map[string][]string{},
+		CallMod: map[string][]string{},
+		CallRef: map[string][]string{},
+	}
+	keys := blockKeys(prog)
+	for b, c := range p.BlockCount {
+		if k, ok := keys[b]; ok {
+			out.Blocks[k] = c
+		}
+	}
+	for b, counts := range p.EdgeCount {
+		if k, ok := keys[b]; ok {
+			out.Edges[k] = counts
+		}
+	}
+	encodeSets := func(dst map[string][]string, src map[int]LocSet) {
+		for site, set := range src {
+			var locs []string
+			for l := range set {
+				locs = append(locs, encodeLoc(l))
+			}
+			// stable output for diffing and golden tests
+			sort.Strings(locs)
+			dst[fmt.Sprint(site)] = locs
+		}
+	}
+	encodeSets(out.Loads, p.LoadLocs)
+	encodeSets(out.Stores, p.StoreLocs)
+	encodeSets(out.CallMod, p.CallMod)
+	encodeSets(out.CallRef, p.CallRef)
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Unmarshal parses a serialized profile against prog. Locations that no
+// longer resolve (the program changed since profiling) are dropped with an
+// error only for structural corruption, matching profile-feedback
+// tolerance in real compilers.
+func Unmarshal(prog *ir.Program, data []byte) (*Profile, error) {
+	var in serialized
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("profile: unsupported version %d", in.Version)
+	}
+	p := New()
+	blocks := map[string]*ir.Block{}
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			blocks[fmt.Sprintf("%s:B%d", f.Name, b.ID)] = b
+		}
+	}
+	for k, c := range in.Blocks {
+		if b, ok := blocks[k]; ok {
+			p.BlockCount[b] = c
+		}
+	}
+	for k, counts := range in.Edges {
+		if b, ok := blocks[k]; ok {
+			p.EdgeCount[b] = counts
+		}
+	}
+	decodeSets := func(src map[string][]string, get func(int) LocSet) error {
+		for siteStr, locs := range src {
+			var site int
+			if _, err := fmt.Sscanf(siteStr, "%d", &site); err != nil {
+				return fmt.Errorf("profile: bad site key %q", siteStr)
+			}
+			set := get(site)
+			for _, ls := range locs {
+				loc, err := decodeLoc(prog, ls)
+				if err != nil {
+					continue // stale entry: tolerate
+				}
+				set.Add(loc)
+			}
+		}
+		return nil
+	}
+	if err := decodeSets(in.Loads, p.LoadSet); err != nil {
+		return nil, err
+	}
+	if err := decodeSets(in.Stores, p.StoreSet); err != nil {
+		return nil, err
+	}
+	if err := decodeSets(in.CallMod, p.ModSet); err != nil {
+		return nil, err
+	}
+	if err := decodeSets(in.CallRef, p.RefSet); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,189 @@
+package source
+
+import "repro/internal/ir"
+
+// File is a parsed MiniC translation unit.
+type File struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Name string
+	Type *ir.Type
+	Line int
+}
+
+// VarDecl declares a global or local variable, optionally initialized.
+type VarDecl struct {
+	Name string
+	Type *ir.Type
+	Init Expr // may be nil
+	Line int
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *ir.Type
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Name   string
+	Ret    *ir.Type
+	Params []Param
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is a MiniC statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a braced statement list with its own scope.
+type BlockStmt struct{ List []Stmt }
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init Stmt // may be nil (ExprStmt or DeclStmt)
+	Cond Expr // may be nil (means true)
+	Post Stmt // may be nil (ExprStmt)
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	X    Expr // may be nil
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is a MiniC expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Val  float64
+	Line int
+}
+
+// Ident names a variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Unary is -x, !x, *x (deref), or &x (address-of).
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operator application, including && and || (which
+// lower with short-circuit control flow).
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// AssignExpr is lhs = rhs or lhs op= rhs (Op is "", "+", "-", "*", "/", "%").
+type AssignExpr struct {
+	Op   string
+	LHS  Expr
+	RHS  Expr
+	Line int
+}
+
+// IncDec is x++ or x-- (statement position only).
+type IncDec struct {
+	Op   string // "++" or "--"
+	X    Expr
+	Line int
+}
+
+// CallExpr invokes a named function or builtin (malloc, print).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Index is x[i].
+type Index struct {
+	X, I Expr
+	Line int
+}
+
+// FieldSel is x.f or x->f.
+type FieldSel struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	Line  int
+}
+
+// Cast is (int)x or (double)x.
+type Cast struct {
+	Type *ir.Type
+	X    Expr
+	Line int
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*Ident) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*AssignExpr) exprNode() {}
+func (*IncDec) exprNode()     {}
+func (*CallExpr) exprNode()   {}
+func (*Index) exprNode()      {}
+func (*FieldSel) exprNode()   {}
+func (*Cast) exprNode()       {}

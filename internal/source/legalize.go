@@ -1,0 +1,99 @@
+package source
+
+import "repro/internal/ir"
+
+// legalize enforces the flattened-IR discipline after address-taken
+// information is final: a Ref to a memory-resident scalar may appear only
+// as the A operand of an RHSCopy assignment (a direct load) or as the Dst
+// of an RHSCopy assignment (a direct store). Reads that ended up in other
+// operand positions during lowering (because &x appeared later in the
+// function) are split into explicit load temporaries; memory-resident
+// parameters get a register shadow that is stored to memory at entry.
+func legalize(fn *ir.Func) {
+	for _, b := range fn.Blocks {
+		var out []ir.Stmt
+		emitLoad := func(r *ir.Ref) *ir.Ref {
+			t := fn.NewTemp(r.Sym.Type)
+			out = append(out, &ir.Assign{
+				Dst: &ir.Ref{Sym: t}, RK: ir.RHSCopy, A: &ir.Ref{Sym: r.Sym},
+				LoadsFrom: r.Sym.Type, Site: fn.Prog().NextSite(),
+			})
+			return &ir.Ref{Sym: t}
+		}
+		fix := func(op ir.Operand) ir.Operand {
+			if r, ok := op.(*ir.Ref); ok && r.Sym.InMemory() {
+				return emitLoad(r)
+			}
+			return op
+		}
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *ir.Assign:
+				switch st.RK {
+				case ir.RHSCopy:
+					if st.Dst.Sym.InMemory() {
+						// direct store: the source must not also be a
+						// memory reference
+						st.A = fix(st.A)
+					} else if r, ok := st.A.(*ir.Ref); ok && r.Sym.InMemory() {
+						// direct load: mark it so later phases and codegen
+						// know this copy reads memory
+						if st.LoadsFrom == nil {
+							st.LoadsFrom = r.Sym.Type
+						}
+						if st.Site == 0 {
+							st.Site = fn.Prog().NextSite()
+						}
+					}
+				case ir.RHSUnary, ir.RHSAlloc:
+					st.A = fix(st.A)
+				case ir.RHSBinary:
+					st.A = fix(st.A)
+					st.B = fix(st.B)
+				case ir.RHSLoad:
+					st.A = fix(st.A)
+				}
+			case *ir.IStore:
+				st.Addr = fix(st.Addr)
+				st.Val = fix(st.Val)
+			case *ir.Call:
+				for i := range st.Args {
+					st.Args[i] = fix(st.Args[i])
+				}
+			case *ir.Print:
+				for i := range st.Args {
+					st.Args[i] = fix(st.Args[i])
+				}
+			}
+			out = append(out, s)
+		}
+		switch b.Term.Kind {
+		case ir.TermCond:
+			b.Term.Cond = fix(b.Term.Cond)
+		case ir.TermRet:
+			if b.Term.Val != nil {
+				b.Term.Val = fix(b.Term.Val)
+			}
+		}
+		b.Stmts = out
+	}
+
+	// Memory-resident parameters: values arrive in registers; store them
+	// to their frame slot at entry and demote the symbol to a local.
+	var prologue []ir.Stmt
+	for i, p := range fn.Params {
+		if !p.InMemory() {
+			continue
+		}
+		shadow := fn.NewSym(p.Name+"$in", p.Type, ir.SymParam)
+		fn.Params = fn.Params[:len(fn.Params)-1] // NewSym appended it
+		fn.Params[i] = shadow
+		p.Kind = ir.SymLocal
+		prologue = append(prologue, &ir.Assign{
+			Dst: &ir.Ref{Sym: p}, RK: ir.RHSCopy, A: &ir.Ref{Sym: shadow},
+		})
+	}
+	if len(prologue) > 0 {
+		fn.Entry.Stmts = append(prologue, fn.Entry.Stmts...)
+	}
+}

@@ -1,0 +1,260 @@
+// Package source implements the MiniC front end: a small C-like language
+// (ints, doubles, pointers, fixed arrays, structs, malloc, functions,
+// loops) that is rich enough to express the memory-aliasing patterns the
+// speculative optimizations of Lin et al. (PLDI 2003) target. Parse
+// produces an AST; Lower translates it to the flattened internal/ir form.
+package source
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64   // for TokInt
+	FVal float64 // for TokFloat
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "double": true, "void": true, "struct": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"sizeof": true,
+}
+
+// Error is a front-end diagnostic with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("minic:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []Token
+}
+
+// Lex tokenizes MiniC source text.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) emit(k TokKind, text string, line, col int) {
+	l.toks = append(l.toks, Token{Kind: k, Text: text, Line: line, Col: col})
+}
+
+var punct2 = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+	"+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"^=": true, "&=": true, "|=": true,
+	"++": true, "--": true, "->": true, "<<": true, ">>": true,
+}
+
+func (l *lexer) run() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && !(l.peek() == '*' && l.peek2() == '/') {
+				l.advance()
+			}
+			if l.pos >= len(l.src) {
+				return l.errf("unterminated block comment")
+			}
+			l.advance()
+			l.advance()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			line, col := l.line, l.col
+			start := l.pos
+			for l.pos < len(l.src) && (isIdentChar(l.peek())) {
+				l.advance()
+			}
+			text := l.src[start:l.pos]
+			if keywords[text] {
+				l.emit(TokKeyword, text, line, col)
+			} else {
+				l.emit(TokIdent, text, line, col)
+			}
+		case c >= '0' && c <= '9':
+			if err := l.number(); err != nil {
+				return err
+			}
+		case c == '"':
+			line, col := l.line, l.col
+			l.advance()
+			var sb strings.Builder
+			for l.pos < len(l.src) && l.peek() != '"' {
+				ch := l.advance()
+				if ch == '\\' && l.pos < len(l.src) {
+					esc := l.advance()
+					switch esc {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case '"':
+						sb.WriteByte('"')
+					default:
+						return l.errf("unknown escape \\%c", esc)
+					}
+					continue
+				}
+				sb.WriteByte(ch)
+			}
+			if l.pos >= len(l.src) {
+				return l.errf("unterminated string literal")
+			}
+			l.advance()
+			l.toks = append(l.toks, Token{Kind: TokString, Text: sb.String(), Line: line, Col: col})
+		default:
+			line, col := l.line, l.col
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			if punct2[two] {
+				l.advance()
+				l.advance()
+				l.emit(TokPunct, two, line, col)
+				continue
+			}
+			if strings.ContainsRune("+-*/%<>=!&|^(){}[];,.~?:", rune(c)) {
+				l.advance()
+				l.emit(TokPunct, string(c), line, col)
+				continue
+			}
+			return l.errf("unexpected character %q", c)
+		}
+	}
+	l.toks = append(l.toks, Token{Kind: TokEOF, Line: l.line, Col: l.col})
+	return nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) number() error {
+	line, col := l.line, l.col
+	start := l.pos
+	for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+		l.advance()
+	}
+	isFloat := false
+	if l.peek() == '.' && l.peek2() >= '0' && l.peek2() <= '9' {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if l.peek() >= '0' && l.peek() <= '9' {
+			isFloat = true
+			for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+				l.advance()
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	tok := Token{Text: text, Line: line, Col: col}
+	if isFloat {
+		tok.Kind = TokFloat
+		if _, err := fmt.Sscanf(text, "%g", &tok.FVal); err != nil {
+			return l.errf("bad float literal %q", text)
+		}
+	} else {
+		tok.Kind = TokInt
+		if _, err := fmt.Sscanf(text, "%d", &tok.Val); err != nil {
+			return l.errf("bad int literal %q", text)
+		}
+	}
+	l.toks = append(l.toks, tok)
+	return nil
+}

@@ -1,0 +1,220 @@
+package ssapre
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// copyProp propagates register-to-register copies (and constants) through
+// uses while the function is in SSA form, exposing second-order
+// redundancies for the next PRE round and letting DCE retire the copies.
+func copyProp(fn *ir.Func, preTemps map[*ir.Sym]bool) {
+	// defs of pure register copies: (sym, ver) -> source operand
+	type sv = core.SymVer
+	copies := map[sv]ir.Operand{}
+	for _, b := range fn.Blocks {
+		for _, st := range b.Stmts {
+			a, ok := st.(*ir.Assign)
+			if !ok || a.RK != ir.RHSCopy || a.Dst.Sym.InMemory() {
+				continue
+			}
+			if a.Spec.AdvLoad || a.Spec.CheckLoad || a.Spec.SpecLoad {
+				continue
+			}
+			switch src := a.A.(type) {
+			case *ir.Ref:
+				// memory→register copies are loads; copies out of
+				// coalesced PRE temps are value snapshots that must not
+				// move across the temp's later (check) redefinitions
+				if !src.Sym.InMemory() && !preTemps[src.Sym] {
+					copies[sv{Sym: a.Dst.Sym, Ver: a.Dst.Ver}] = src
+				}
+			case *ir.ConstInt:
+				copies[sv{Sym: a.Dst.Sym, Ver: a.Dst.Ver}] = src
+			case *ir.ConstFloat:
+				copies[sv{Sym: a.Dst.Sym, Ver: a.Dst.Ver}] = src
+			}
+		}
+	}
+	if len(copies) == 0 {
+		return
+	}
+	resolve := func(op ir.Operand) ir.Operand {
+		for i := 0; i < 64; i++ {
+			r, ok := op.(*ir.Ref)
+			if !ok {
+				return op
+			}
+			next, ok := copies[sv{Sym: r.Sym, Ver: r.Ver}]
+			if !ok {
+				return op
+			}
+			// don't change the value's type through an untyped copy chain
+			if nr, isRef := next.(*ir.Ref); isRef {
+				op = &ir.Ref{Sym: nr.Sym, Ver: nr.Ver}
+			} else {
+				if !next.Type().Equal(r.Type()) {
+					return op
+				}
+				return next
+			}
+		}
+		return op
+	}
+	fix := func(op ir.Operand) ir.Operand {
+		if op == nil {
+			return nil
+		}
+		return resolve(op)
+	}
+	for _, b := range fn.Blocks {
+		for _, phi := range b.Phis {
+			for i, arg := range phi.Args {
+				if r, ok := fix(arg).(*ir.Ref); ok {
+					phi.Args[i] = r
+				}
+			}
+		}
+		for _, st := range b.Stmts {
+			switch t := st.(type) {
+			case *ir.Assign:
+				// keep the A of the copy itself resolvable; rewriting it
+				// is harmless (same value)
+				t.A = fix(t.A)
+				if t.B != nil {
+					t.B = fix(t.B)
+				}
+			case *ir.IStore:
+				t.Addr = fix(t.Addr)
+				t.Val = fix(t.Val)
+			case *ir.Call:
+				for i := range t.Args {
+					t.Args[i] = fix(t.Args[i])
+				}
+			case *ir.Print:
+				for i := range t.Args {
+					t.Args[i] = fix(t.Args[i])
+				}
+			}
+		}
+		if b.Term.Cond != nil {
+			b.Term.Cond = fix(b.Term.Cond)
+		}
+		if b.Term.Val != nil {
+			b.Term.Val = fix(b.Term.Val)
+		}
+	}
+}
+
+// dce removes pure statements and phis whose register results do not
+// (transitively) reach any real use. Liveness is computed with a worklist
+// from essential uses, so dead phi-only cycles (loop-carried temporaries
+// nothing reads) are eliminated too. Statements carrying speculation flags
+// are kept: an advanced load anchors downstream checks.
+func dce(fn *ir.Func, keep map[*ir.Sym]bool) {
+	type sv = core.SymVer
+
+	// definition index
+	defStmt := map[sv]*ir.Assign{}
+	defPhi := map[sv]*ir.Phi{}
+	for _, b := range fn.Blocks {
+		for _, phi := range b.Phis {
+			defPhi[sv{Sym: phi.Sym, Ver: phi.Ver}] = phi
+		}
+		for _, st := range b.Stmts {
+			if a, ok := st.(*ir.Assign); ok {
+				defStmt[sv{Sym: a.Dst.Sym, Ver: a.Dst.Ver}] = a
+			}
+		}
+	}
+
+	live := map[sv]bool{}
+	var work []sv
+	markOp := func(op ir.Operand) {
+		if r, ok := op.(*ir.Ref); ok {
+			k := sv{Sym: r.Sym, Ver: r.Ver}
+			if !live[k] {
+				live[k] = true
+				work = append(work, k)
+			}
+		}
+	}
+	removable := func(a *ir.Assign) bool {
+		return !a.Dst.Sym.InMemory() && isPureRHS(a.RK) && !keep[a.Dst.Sym] &&
+			!a.Spec.AdvLoad && !a.Spec.CheckLoad && !a.Spec.SpecLoad
+	}
+
+	// essential roots: effects (stores, calls, prints, terminators) and
+	// non-removable assignments
+	for _, b := range fn.Blocks {
+		for _, st := range b.Stmts {
+			a, isAssign := st.(*ir.Assign)
+			if isAssign && removable(a) {
+				continue
+			}
+			for _, op := range ir.Uses(st) {
+				markOp(op)
+			}
+		}
+		if b.Term.Cond != nil {
+			markOp(b.Term.Cond)
+		}
+		if b.Term.Val != nil {
+			markOp(b.Term.Val)
+		}
+	}
+	// transitive closure through defs
+	for len(work) > 0 {
+		k := work[len(work)-1]
+		work = work[:len(work)-1]
+		if a, ok := defStmt[k]; ok {
+			for _, op := range ir.Uses(a) {
+				markOp(op)
+			}
+		}
+		if phi, ok := defPhi[k]; ok {
+			for _, arg := range phi.Args {
+				markOp(arg)
+			}
+		}
+	}
+	// kept symbols: all of their versions stay (coalesced PRE temps)
+	symLive := map[*ir.Sym]bool{}
+	for k := range live {
+		if keep[k.Sym] {
+			symLive[k.Sym] = true
+		}
+	}
+
+	isLive := func(s *ir.Sym, ver int) bool {
+		return live[sv{Sym: s, Ver: ver}] || symLive[s]
+	}
+
+	for _, b := range fn.Blocks {
+		var phis []*ir.Phi
+		for _, phi := range b.Phis {
+			if phi.Sym.Kind != ir.SymVirtual && !phi.Sym.InMemory() &&
+				!isLive(phi.Sym, phi.Ver) {
+				continue
+			}
+			phis = append(phis, phi)
+		}
+		b.Phis = phis
+		var stmts []ir.Stmt
+		for _, st := range b.Stmts {
+			if a, ok := st.(*ir.Assign); ok && removable(a) && !isLive(a.Dst.Sym, a.Dst.Ver) {
+				continue
+			}
+			stmts = append(stmts, st)
+		}
+		b.Stmts = stmts
+	}
+}
+
+func isPureRHS(rk ir.RHSKind) bool {
+	switch rk {
+	case ir.RHSCopy, ir.RHSUnary, ir.RHSBinary, ir.RHSLoad, ir.RHSAlloc:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+package ssapre
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// mkFunc builds a single-block function for pass-level unit tests.
+func mkFunc() (*ir.Program, *ir.Func, *ir.Block) {
+	prog := ir.NewProgram()
+	f := prog.NewFunc("f", ir.IntType)
+	b := f.NewBlock()
+	f.Entry = b
+	b.Term = ir.Term{Kind: ir.TermRet}
+	return prog, f, b
+}
+
+func TestCopyPropResolvesChains(t *testing.T) {
+	_, f, b := mkFunc()
+	a := f.NewTemp(ir.IntType)
+	c1 := f.NewTemp(ir.IntType)
+	c2 := f.NewTemp(ir.IntType)
+	use := f.NewTemp(ir.IntType)
+	b.Stmts = []ir.Stmt{
+		&ir.Assign{Dst: &ir.Ref{Sym: a, Ver: 1}, RK: ir.RHSCopy, A: &ir.ConstInt{Val: 9}},
+		&ir.Assign{Dst: &ir.Ref{Sym: c1, Ver: 1}, RK: ir.RHSCopy, A: &ir.Ref{Sym: a, Ver: 1}},
+		&ir.Assign{Dst: &ir.Ref{Sym: c2, Ver: 1}, RK: ir.RHSCopy, A: &ir.Ref{Sym: c1, Ver: 1}},
+		&ir.Assign{Dst: &ir.Ref{Sym: use, Ver: 1}, RK: ir.RHSBinary, Op: ir.OpAdd,
+			A: &ir.Ref{Sym: c2, Ver: 1}, B: &ir.Ref{Sym: c2, Ver: 1}},
+	}
+	copyProp(f, map[*ir.Sym]bool{})
+	add := b.Stmts[3].(*ir.Assign)
+	if r, ok := add.A.(*ir.ConstInt); !ok || r.Val != 9 {
+		t.Errorf("copy chain not resolved to the constant: %s", add)
+	}
+}
+
+func TestCopyPropStopsAtPreTemps(t *testing.T) {
+	_, f, b := mkFunc()
+	tsym := f.NewTemp(ir.IntType)
+	d := f.NewTemp(ir.IntType)
+	use := f.NewTemp(ir.IntType)
+	b.Stmts = []ir.Stmt{
+		&ir.Assign{Dst: &ir.Ref{Sym: tsym, Ver: 1}, RK: ir.RHSCopy, A: &ir.ConstInt{Val: 3}},
+		&ir.Assign{Dst: &ir.Ref{Sym: d, Ver: 1}, RK: ir.RHSCopy, A: &ir.Ref{Sym: tsym, Ver: 1}},
+		&ir.Assign{Dst: &ir.Ref{Sym: use, Ver: 1}, RK: ir.RHSCopy, A: &ir.Ref{Sym: d, Ver: 1}},
+	}
+	copyProp(f, map[*ir.Sym]bool{tsym: true})
+	useStmt := b.Stmts[2].(*ir.Assign)
+	if r, ok := useStmt.A.(*ir.Ref); !ok || r.Sym != d {
+		t.Errorf("snapshot copy out of a PRE temp must not propagate: %s", useStmt)
+	}
+}
+
+func TestDCERemovesDeadPhiCycles(t *testing.T) {
+	// two phis feeding each other across a loop with no real use must die
+	prog := ir.NewProgram()
+	f := prog.NewFunc("f", ir.IntType)
+	entry, header, latch, exit := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	f.Entry = entry
+	ir.Connect(entry, header)
+	ir.Connect(header, latch)
+	ir.Connect(header, exit)
+	ir.Connect(latch, header)
+	entry.Term = ir.Term{Kind: ir.TermJump}
+	header.Term = ir.Term{Kind: ir.TermCond, Cond: &ir.ConstInt{Val: 1}}
+	latch.Term = ir.Term{Kind: ir.TermJump}
+	exit.Term = ir.Term{Kind: ir.TermRet, Val: &ir.ConstInt{Val: 0}}
+
+	x := f.NewTemp(ir.IntType)
+	header.Phis = []*ir.Phi{{Sym: x, Ver: 2, Args: []*ir.Ref{
+		{Sym: x, Ver: 1}, {Sym: x, Ver: 3},
+	}}}
+	entry.Stmts = []ir.Stmt{
+		&ir.Assign{Dst: &ir.Ref{Sym: x, Ver: 1}, RK: ir.RHSCopy, A: &ir.ConstInt{Val: 0}},
+	}
+	latch.Stmts = []ir.Stmt{
+		&ir.Assign{Dst: &ir.Ref{Sym: x, Ver: 3}, RK: ir.RHSBinary, Op: ir.OpAdd,
+			A: &ir.Ref{Sym: x, Ver: 2}, B: &ir.ConstInt{Val: 1}},
+	}
+	dce(f, map[*ir.Sym]bool{})
+	if len(header.Phis) != 0 {
+		t.Error("dead phi cycle survived DCE")
+	}
+	if len(latch.Stmts) != 0 {
+		t.Error("dead increment survived DCE")
+	}
+}
+
+func TestDCEKeepsFlaggedLoads(t *testing.T) {
+	prog := ir.NewProgram()
+	g := prog.NewGlobal("g", ir.IntType)
+	f := prog.NewFunc("f", ir.IntType)
+	b := f.NewBlock()
+	f.Entry = b
+	b.Term = ir.Term{Kind: ir.TermRet, Val: &ir.ConstInt{Val: 0}}
+	dead := f.NewTemp(ir.IntType)
+	adv := f.NewTemp(ir.IntType)
+	b.Stmts = []ir.Stmt{
+		&ir.Assign{Dst: &ir.Ref{Sym: dead, Ver: 1}, RK: ir.RHSCopy, A: &ir.Ref{Sym: g},
+			LoadsFrom: ir.IntType},
+		&ir.Assign{Dst: &ir.Ref{Sym: adv, Ver: 1}, RK: ir.RHSCopy, A: &ir.Ref{Sym: g},
+			LoadsFrom: ir.IntType, Spec: ir.SpecFlags{AdvLoad: true}},
+	}
+	dce(f, map[*ir.Sym]bool{})
+	if len(b.Stmts) != 1 {
+		t.Fatalf("want 1 surviving stmt (the ld.a anchor), got %d", len(b.Stmts))
+	}
+	if !b.Stmts[0].(*ir.Assign).Spec.AdvLoad {
+		t.Error("the flagged load was removed instead of the dead one")
+	}
+}
+
+func TestSequentializeSwap(t *testing.T) {
+	prog := ir.NewProgram()
+	f := prog.NewFunc("f", ir.VoidType)
+	_ = prog
+	x := f.NewTemp(ir.IntType)
+	y := f.NewTemp(ir.IntType)
+	out := sequentialize(f, []copyOp{{dst: x, src: y}, {dst: y, src: x}})
+	if len(out) != 3 {
+		t.Fatalf("swap needs 3 copies with a scratch, got %d", len(out))
+	}
+	// simulate
+	vals := map[*ir.Sym]int{x: 1, y: 2}
+	for _, c := range out {
+		vals[c.dst] = vals[c.src]
+	}
+	if vals[x] != 2 || vals[y] != 1 {
+		t.Errorf("swap broken: x=%d y=%d", vals[x], vals[y])
+	}
+}
+
+func TestSequentializeChain(t *testing.T) {
+	prog := ir.NewProgram()
+	f := prog.NewFunc("f", ir.VoidType)
+	_ = prog
+	a := f.NewTemp(ir.IntType)
+	b := f.NewTemp(ir.IntType)
+	c := f.NewTemp(ir.IntType)
+	// parallel: a<-b, b<-c  (no cycle; must emit a<-b first)
+	out := sequentialize(f, []copyOp{{dst: b, src: c}, {dst: a, src: b}})
+	vals := map[*ir.Sym]int{a: 1, b: 2, c: 3}
+	for _, cp := range out {
+		vals[cp.dst] = vals[cp.src]
+	}
+	if vals[a] != 2 || vals[b] != 3 {
+		t.Errorf("chain broken: a=%d b=%d", vals[a], vals[b])
+	}
+}

@@ -1,0 +1,592 @@
+package ssapre
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// defNode is a node of an expression's availability web: a real
+// occurrence, an expression Φ, or an occurrence inserted by Finalize.
+type defNode struct {
+	real     *occurrence
+	phi      *phiOcc
+	inserted *ir.Assign // inserted computation (CodeMotion)
+	class    int
+	tVer     int // temp version this node provides (CodeMotion)
+}
+
+// phiOcc is an expression Φ (the capital-Φ of the paper, distinct from
+// variable φs).
+type phiOcc struct {
+	block *ir.Block
+	class int
+	vers  map[*ir.Sym]int // versions of expression variables just after b's φs
+	opnds []*phiOpnd      // parallel to block.Preds
+
+	downSafe    bool
+	specDS      bool // non-down-safe but control speculation deems insertion profitable
+	canBeAvail  bool
+	later       bool
+	willBeAvail bool
+
+	node *defNode
+}
+
+// phiOpnd describes the expression value arriving along one incoming edge.
+type phiOpnd struct {
+	def        *defNode        // nil = ⊥ (not available)
+	hasRealUse bool            // latest occurrence of the version on this path is real
+	spec       bool            // availability crosses speculative weak updates
+	vers       map[*ir.Sym]int // variable versions at the end of the predecessor
+	insert     bool            // Finalize: insert computation on this edge
+	insCheck   bool            // insertion is a check load (spec crossing)
+	tVer       int             // temp version feeding the Φ from this edge
+}
+
+// web is the per-class state threaded through the phases.
+type web struct {
+	ssa       *core.SSA
+	ec        *exprClass
+	opts      Options
+	phis      []*phiOcc
+	phiAt     map[*ir.Block]*phiOcc
+	occSet    map[*ir.Assign]*occurrence
+	occNodes  map[*occurrence]*defNode
+	nextClass int
+	preTemps  map[*ir.Sym]bool
+	// checkedTemps are PRE temps redefined by check loads; their versions
+	// are opaque to value analysis (see buildResolver)
+	checkedTemps map[*ir.Sym]bool
+	copies       map[core.SymVer]ir.Operand // pure-copy resolver for value matching
+
+	temp  *ir.Sym // materialization temp (created on demand)
+	stats Stats
+}
+
+func newWeb(ssa *core.SSA, ec *exprClass, opts Options, copies map[core.SymVer]ir.Operand) *web {
+	w := &web{ssa: ssa, ec: ec, opts: opts, phiAt: map[*ir.Block]*phiOcc{}, occSet: map[*ir.Assign]*occurrence{}, copies: copies}
+	for _, o := range ec.occs {
+		w.occSet[o.stmt] = o
+	}
+	return w
+}
+
+// occStillValid re-checks that the collected statement still computes this
+// expression (an earlier class's CodeMotion may have rewritten it).
+func (w *web) occStillValid(o *occurrence) bool {
+	a := o.stmt
+	if a.RK != w.ec.key.rk {
+		return false
+	}
+	switch w.ec.kind {
+	case exprArith:
+		if a.Op != w.ec.key.op {
+			return false
+		}
+	case exprDirectLoad:
+		r, ok := a.A.(*ir.Ref)
+		if !ok || !r.Sym.InMemory() {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Step 1: Φ-Insertion (paper Appendix A, with the weak-update-skipping
+// walk that makes expressions speculatively anticipated).
+// ---------------------------------------------------------------------
+
+func (w *web) phiInsertion() {
+	blocks := map[*ir.Block]bool{}
+	var occBlocks []*ir.Block
+	for _, o := range w.ec.occs {
+		occBlocks = append(occBlocks, o.block)
+	}
+	for _, b := range w.ssa.DT.IteratedFrontier(occBlocks) {
+		blocks[b] = true
+	}
+
+	// variable-φ-driven insertion: from each occurrence operand, skip
+	// speculative weak updates; if the def is a variable φ, its block
+	// (and those of φs feeding it, transitively) get an expression Φ.
+	visited := map[*ir.Phi]bool{}
+	var addPhiRec func(phi *ir.Phi, blockOf *ir.Block)
+	addPhiRec = func(phi *ir.Phi, blockOf *ir.Block) {
+		if visited[phi] {
+			return
+		}
+		visited[phi] = true
+		blocks[blockOf] = true
+		for _, arg := range phi.Args {
+			home, _ := w.ssa.SpecHome(phi.Sym, arg.Ver, w.ec.ctx)
+			if d, ok := w.ssa.Def[core.SymVer{Sym: phi.Sym, Ver: home}]; ok && d.Kind == core.DefPhi {
+				addPhiRec(d.Phi, d.Block)
+			}
+		}
+	}
+	for _, o := range w.ec.occs {
+		for _, v := range w.ec.vars {
+			ver := w.ec.verOf(o, v)
+			home, _ := w.ssa.SpecHome(v, ver, w.ec.ctx)
+			if d, ok := w.ssa.Def[core.SymVer{Sym: v, Ver: home}]; ok && d.Kind == core.DefPhi {
+				addPhiRec(d.Phi, d.Block)
+			}
+		}
+	}
+
+	for b := range blocks {
+		if len(b.Preds) < 2 {
+			continue // Φ only makes sense at merge points
+		}
+		p := &phiOcc{block: b, class: -1, opnds: make([]*phiOpnd, len(b.Preds)), downSafe: true, canBeAvail: true}
+		for i := range p.opnds {
+			p.opnds[i] = &phiOpnd{}
+		}
+		w.phis = append(w.phis, p)
+		w.phiAt[b] = p
+		w.stats.PhisPlaced++
+	}
+}
+
+// ---------------------------------------------------------------------
+// Step 2: Rename — assign h-versions (classes) to occurrences and Φs,
+// using the speculative walk to identify speculative redundancies
+// (§4.3 of the paper).
+// ---------------------------------------------------------------------
+
+type renEntry struct {
+	occ *occurrence
+	phi *phiOcc
+}
+
+func (e renEntry) classOf() int {
+	if e.occ != nil {
+		return e.occ.class
+	}
+	return e.phi.class
+}
+
+func (w *web) rename() {
+	varTops := map[*ir.Sym]int{}
+	isVar := map[*ir.Sym]bool{}
+	for _, v := range w.ec.vars {
+		isVar[v] = true
+	}
+	var estack []renEntry
+
+	// versionsAt returns a copy of the current variable versions.
+	snap := func() map[*ir.Sym]int {
+		m := make(map[*ir.Sym]int, len(w.ec.vars))
+		for _, v := range w.ec.vars {
+			m[v] = varTops[v]
+		}
+		return m
+	}
+
+	// matchVers checks whether current versions `cur` denote the same
+	// values as target versions `tgt`: versions are resolved through
+	// pure copy chains (SSA value identity) and, failing that, walked
+	// through speculative weak updates.
+	matchVers := func(cur, tgt map[*ir.Sym]int) (match, spec bool) {
+		anySpec := false
+		for _, v := range w.ec.vars {
+			cv, tv := cur[v], tgt[v]
+			if cv == tv {
+				continue
+			}
+			ca := resolveOperand(&ir.Ref{Sym: v, Ver: cv}, w.copies)
+			cb := resolveOperand(&ir.Ref{Sym: v, Ver: tv}, w.copies)
+			if ir.SameOperand(ca, cb) {
+				continue
+			}
+			ra, aRef := ca.(*ir.Ref)
+			rb, bRef := cb.(*ir.Ref)
+			if aRef && bRef && ra.Sym == rb.Sym {
+				reaches, sp := w.ssa.SpecReaches(ra.Sym, ra.Ver, rb.Ver, w.ec.ctx)
+				if reaches {
+					if sp {
+						anySpec = true
+					}
+					continue
+				}
+			}
+			// fall back to the raw chain (vv and memory symbols are
+			// never copied, so this is the common case for them)
+			reaches, sp := w.ssa.SpecReaches(v, cv, tv, w.ec.ctx)
+			if !reaches {
+				return false, false
+			}
+			if sp {
+				anySpec = true
+			}
+		}
+		return true, anySpec
+	}
+
+	occVers := func(o *occurrence) map[*ir.Sym]int {
+		m := make(map[*ir.Sym]int, len(w.ec.vars))
+		for _, v := range w.ec.vars {
+			m[v] = w.ec.verOf(o, v)
+		}
+		return m
+	}
+
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		savedVars := map[*ir.Sym]int{}
+		touch := func(sym *ir.Sym, ver int) {
+			if !isVar[sym] {
+				return
+			}
+			if _, saved := savedVars[sym]; !saved {
+				savedVars[sym] = varTops[sym]
+			}
+			varTops[sym] = ver
+		}
+		stackLen := len(estack)
+
+		for _, phi := range b.Phis {
+			touch(phi.Sym, phi.Ver)
+		}
+		if p := w.phiAt[b]; p != nil {
+			p.class = w.nextClass
+			w.nextClass++
+			p.vers = snap()
+			p.node = &defNode{phi: p, class: p.class}
+			estack = append(estack, renEntry{phi: p})
+		}
+
+		for _, st := range b.Stmts {
+			if a, ok := st.(*ir.Assign); ok {
+				if o := w.occSet[a]; o != nil && w.occStillValid(o) {
+					cur := occVers(o)
+					assigned := false
+					if len(estack) > 0 {
+						top := estack[len(estack)-1]
+						var tgt map[*ir.Sym]int
+						if top.occ != nil {
+							tgt = occVers(top.occ)
+						} else {
+							tgt = top.phi.vers
+						}
+						if match, spec := matchVers(cur, tgt); match {
+							o.class = top.classOf()
+							o.spec = spec
+							if top.occ != nil {
+								o.defOcc = &defNode{real: top.occ, class: o.class}
+							} else {
+								o.defOcc = top.phi.node
+							}
+							assigned = true
+							estack = append(estack, renEntry{occ: o})
+						}
+					}
+					if !assigned {
+						o.class = w.nextClass
+						w.nextClass++
+						o.defOcc = nil
+						o.spec = false
+						estack = append(estack, renEntry{occ: o})
+					}
+				}
+			}
+			// variable definitions update the current versions
+			switch t := st.(type) {
+			case *ir.Assign:
+				touch(t.Dst.Sym, t.Dst.Ver)
+				for _, chi := range t.Chis {
+					touch(chi.Sym, chi.NewVer)
+				}
+			case *ir.IStore:
+				for _, chi := range t.Chis {
+					touch(chi.Sym, chi.NewVer)
+				}
+			case *ir.Call:
+				if t.Dst != nil {
+					touch(t.Dst.Sym, t.Dst.Ver)
+				}
+				for _, chi := range t.Chis {
+					touch(chi.Sym, chi.NewVer)
+				}
+			}
+		}
+
+		// Φ-operand pseudo-occurrences at the ends of predecessor blocks
+		for _, succ := range b.Succs {
+			p := w.phiAt[succ]
+			if p == nil {
+				continue
+			}
+			j := succ.PredIndex(b)
+			opnd := p.opnds[j]
+			opnd.vers = snap()
+			if len(estack) == 0 {
+				opnd.def = nil
+				continue
+			}
+			top := estack[len(estack)-1]
+			var tgt map[*ir.Sym]int
+			if top.occ != nil {
+				tgt = occVers(top.occ)
+			} else {
+				tgt = top.phi.vers
+			}
+			match, spec := matchVers(opnd.vers, tgt)
+			if !match {
+				opnd.def = nil
+				continue
+			}
+			if top.occ != nil {
+				opnd.def = &defNode{real: top.occ, class: top.occ.class}
+				opnd.hasRealUse = true
+			} else {
+				opnd.def = top.phi.node
+				opnd.hasRealUse = false
+			}
+			opnd.spec = spec
+		}
+
+		for _, c := range w.ssa.DT.Children[b] {
+			walk(c)
+		}
+		estack = estack[:stackLen]
+		for sym, ver := range savedVars {
+			varTops[sym] = ver
+		}
+	}
+	walk(w.ssa.Fn.Entry)
+}
+
+// ---------------------------------------------------------------------
+// Step 3: DownSafety — a Φ is down-safe when the expression's value is
+// used on every path to exit before being killed. The kill test honours
+// data speculation (weak updates the context may skip do not kill).
+// Control speculation then re-admits profitable non-down-safe Φs.
+// ---------------------------------------------------------------------
+
+// killsClass reports whether stmt kills the expression's value: a strong
+// definition of an operand variable, a flagged chi, or a weak chi the
+// walk context refuses to skip.
+func (w *web) killsClass(st ir.Stmt) bool {
+	hit := func(sym *ir.Sym) bool {
+		for _, v := range w.ec.vars {
+			if v == sym {
+				return true
+			}
+		}
+		return false
+	}
+	chiKills := func(chis []*ir.Chi, st ir.Stmt) bool {
+		for _, chi := range chis {
+			if hit(chi.Sym) && (chi.Spec || w.ec.ctx.BlocksSkip(st)) {
+				return true
+			}
+		}
+		return false
+	}
+	switch t := st.(type) {
+	case *ir.Assign:
+		if hit(t.Dst.Sym) {
+			return true
+		}
+		return chiKills(t.Chis, st)
+	case *ir.IStore:
+		return chiKills(t.Chis, st)
+	case *ir.Call:
+		if t.Dst != nil && hit(t.Dst.Sym) {
+			return true
+		}
+		return chiKills(t.Chis, st)
+	}
+	return false
+}
+
+func (w *web) downSafety() {
+	// Initial pass: a Φ is down-safe iff on every path forward its class
+	// value reaches a real occurrence of the same class or flows into a
+	// Φ-operand, before any kill or exit.
+	for _, p := range w.phis {
+		p.downSafe = w.usedOnAllPaths(p)
+	}
+	// Propagation: a Φ feeding only a non-down-safe Φ (with no real use
+	// on the edge) is itself not down-safe.
+	for changed := true; changed; {
+		changed = false
+		for _, p := range w.phis {
+			if p.downSafe {
+				continue
+			}
+			for _, opnd := range p.opnds {
+				if opnd.def != nil && opnd.def.phi != nil && !opnd.hasRealUse && opnd.def.phi.downSafe {
+					opnd.def.phi.downSafe = false
+					changed = true
+				}
+			}
+		}
+	}
+	// Control speculation: a non-down-safe Φ may still host insertions
+	// when the edges needing insertion are colder than the uses saved
+	// (Lo et al. PLDI'98). Trapping arithmetic is never speculated.
+	if !w.opts.ControlSpec || w.trapping() {
+		return
+	}
+	for _, p := range w.phis {
+		if p.downSafe {
+			continue
+		}
+		var insFreq float64
+		for i, opnd := range p.opnds {
+			if opnd.def == nil {
+				if i < len(p.block.Preds) {
+					pred := p.block.Preds[i]
+					pi := pred.SuccIndex(p.block)
+					if pi >= 0 && pi < len(pred.EdgeFreq) {
+						insFreq += pred.EdgeFreq[pi]
+					} else {
+						insFreq += pred.Freq
+					}
+				}
+			}
+		}
+		var useFreq float64
+		for _, o := range w.ec.occs {
+			if o.class == p.class {
+				useFreq += o.block.Freq
+			}
+		}
+		if useFreq > insFreq {
+			p.specDS = true
+		}
+	}
+}
+
+// trapping reports whether speculatively executing the expression could
+// fault in a way the VM cannot defer (integer division).
+func (w *web) trapping() bool {
+	return w.ec.kind == exprArith && (w.ec.key.op == ir.OpDiv || w.ec.key.op == ir.OpMod)
+}
+
+// usedOnAllPaths checks the initial down-safety of Φ p by forward
+// exploration from its block.
+func (w *web) usedOnAllPaths(p *phiOcc) bool {
+	memo := map[*ir.Block]int{} // 0 unknown/in-progress, 1 safe, 2 unsafe
+	var fromBlock func(b *ir.Block, start int) bool
+	fromBlock = func(b *ir.Block, start int) bool {
+		for i := start; i < len(b.Stmts); i++ {
+			st := b.Stmts[i]
+			if a, ok := st.(*ir.Assign); ok {
+				if o := w.occSet[a]; o != nil && o.class == p.class {
+					return true
+				}
+			}
+			if w.killsClass(st) {
+				return false
+			}
+		}
+		if b.Term.Kind == ir.TermRet {
+			return false
+		}
+		for _, s := range b.Succs {
+			if q := w.phiAt[s]; q != nil {
+				j := s.PredIndex(b)
+				opnd := q.opnds[j]
+				if opnd.def != nil && opnd.def.class == p.class {
+					continue // value flows into the Φ; propagation handles it
+				}
+				return false
+			}
+			// entering s: variable φs there redefine operands → kill
+			killedByPhi := false
+			for _, vphi := range s.Phis {
+				for _, v := range w.ec.vars {
+					if vphi.Sym == v {
+						killedByPhi = true
+					}
+				}
+			}
+			if killedByPhi {
+				return false
+			}
+			switch memo[s] {
+			case 1:
+				continue
+			case 2:
+				return false
+			default:
+				memo[s] = 1 // optimistic for cycles: a pure cycle never exits
+				if fromBlock(s, 0) {
+					memo[s] = 1
+				} else {
+					memo[s] = 2
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return fromBlock(p.block, 0)
+}
+
+// ---------------------------------------------------------------------
+// Step 4: WillBeAvailable (standard SSAPRE, with specDS standing in for
+// down-safety under control speculation).
+// ---------------------------------------------------------------------
+
+func (w *web) willBeAvail() {
+	safe := func(p *phiOcc) bool { return p.downSafe || p.specDS }
+	for _, p := range w.phis {
+		p.canBeAvail = true
+	}
+	// seed: non-safe Φ with a ⊥ operand cannot be available
+	for _, p := range w.phis {
+		if !safe(p) {
+			for _, opnd := range p.opnds {
+				if opnd.def == nil {
+					p.canBeAvail = false
+					break
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range w.phis {
+			if !p.canBeAvail {
+				continue
+			}
+			if safe(p) {
+				continue
+			}
+			for _, opnd := range p.opnds {
+				if opnd.def != nil && opnd.def.phi != nil && !opnd.def.phi.canBeAvail && !opnd.hasRealUse {
+					p.canBeAvail = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// later: the insertion can be postponed (no real availability feeds it)
+	for _, p := range w.phis {
+		p.later = p.canBeAvail
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range w.phis {
+			if !p.later {
+				continue
+			}
+			for _, opnd := range p.opnds {
+				if opnd.def != nil && (opnd.hasRealUse || (opnd.def.phi != nil && !opnd.def.phi.later)) {
+					p.later = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, p := range w.phis {
+		p.willBeAvail = p.canBeAvail && !p.later
+	}
+}

@@ -1,0 +1,88 @@
+package ssapre
+
+import (
+	"repro/internal/ir"
+)
+
+// nodeOf returns the unique defNode of a real occurrence.
+func (w *web) nodeOf(o *occurrence) *defNode {
+	if o.defOcc != nil && o.defOcc.real == o {
+		return o.defOcc
+	}
+	if w.occNodes == nil {
+		w.occNodes = map[*occurrence]*defNode{}
+	}
+	n := w.occNodes[o]
+	if n == nil {
+		n = &defNode{real: o, class: o.class}
+		w.occNodes[o] = n
+	}
+	return n
+}
+
+// finalize decides, in a dominator-tree walk, which occurrences reload
+// from the temporary and which Φ operands need insertions, tracking the
+// nearest available definition per class.
+func (w *web) finalize() {
+	availDef := map[int]*defNode{}
+
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		saved := map[int]*defNode{}
+		set := func(c int, n *defNode) {
+			if _, ok := saved[c]; !ok {
+				saved[c] = availDef[c]
+			}
+			availDef[c] = n
+		}
+		if p := w.phiAt[b]; p != nil && p.willBeAvail {
+			set(p.class, p.node)
+		}
+		for _, st := range b.Stmts {
+			a, ok := st.(*ir.Assign)
+			if !ok {
+				continue
+			}
+			o := w.occSet[a]
+			if o == nil || !w.occStillValid(o) {
+				continue
+			}
+			if def := availDef[o.class]; def != nil && o.defOcc != nil {
+				o.reload = true
+				o.defOcc = def
+			} else {
+				// leader: this occurrence computes the value
+				o.reload = false
+				o.defOcc = nil
+				o.spec = false
+				set(o.class, w.nodeOf(o))
+			}
+		}
+		for _, c := range w.ssa.DT.Children[b] {
+			walk(c)
+		}
+		for c, n := range saved {
+			availDef[c] = n
+		}
+	}
+	walk(w.ssa.Fn.Entry)
+
+	// insertion decisions for will-be-available Φs
+	for _, p := range w.phis {
+		if !p.willBeAvail {
+			continue
+		}
+		for _, opnd := range p.opnds {
+			switch {
+			case opnd.def == nil:
+				opnd.insert = true
+			case opnd.def.phi != nil && !opnd.def.phi.willBeAvail:
+				opnd.insert = true
+			case opnd.spec && w.ec.isLoad():
+				// the value crosses speculative weak updates on this
+				// edge: re-validate it with a check load
+				opnd.insCheck = true
+			}
+		}
+	}
+}

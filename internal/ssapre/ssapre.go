@@ -1,0 +1,105 @@
+package ssapre
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Run optimizes every function of the program with speculative SSAPRE and
+// returns per-function statistics. The program must already carry chi/mu
+// lists (alias.Result.Annotate) and speculation flags (core.AssignFlags);
+// edge frequencies should be applied (profile.ApplyEdges or
+// profile.StaticEstimate) when control speculation is on. After Run the
+// program is out of SSA form and ready for code generation.
+func Run(prog *ir.Program, opts Options) map[string]*Stats {
+	if opts.Rounds <= 0 {
+		// each round unifies one level of an expression tree (the next
+		// round's canonicalization sees the copies the previous round
+		// made); rounds stop early once a pass changes nothing
+		opts.Rounds = 8
+	}
+	res := map[string]*Stats{}
+	for _, fn := range prog.Funcs {
+		res[fn.Name] = runFunc(fn, opts)
+	}
+	return res
+}
+
+func runFunc(fn *ir.Func, opts Options) *Stats {
+	stats := &Stats{}
+	var virtuals []*ir.Sym
+	if opts.Alias != nil {
+		virtuals = opts.Alias.FuncVirtuals[fn]
+	}
+	var synKeys map[ir.Stmt]string
+	if opts.DataSpec == core.ModeHeuristic {
+		synKeys = ir.SyntaxKeys(fn)
+	}
+	ssa := core.BuildSSA(fn, virtuals)
+	preTemps := map[*ir.Sym]bool{}
+	checkedTemps := map[*ir.Sym]bool{}
+
+	for round := 0; round < opts.Rounds; round++ {
+		copies := buildResolver(fn, checkedTemps)
+		classes := collectExprs(ssa, opts, synKeys, copies)
+		stats.ExprClasses += len(classes)
+		any := false
+		for _, ec := range classes {
+			w := newWeb(ssa, ec, opts, copies)
+			w.preTemps = preTemps
+			w.checkedTemps = checkedTemps
+			w.phiInsertion()
+			w.rename()
+			w.downSafety()
+			w.willBeAvail()
+			w.finalize()
+			w.codeMotion()
+			if w.stats.Eliminated > 0 || w.stats.Insertions > 0 {
+				any = true
+			}
+			stats.Add(w.stats)
+		}
+		copyProp(fn, preTemps)
+		if opts.Verify {
+			mustHold(fn)
+		}
+		if !any {
+			break
+		}
+	}
+	if !opts.NoStrength {
+		strengthReduce(ssa, stats)
+		copyProp(fn, preTemps)
+		if opts.Verify {
+			mustHold(fn)
+		}
+	}
+	dce(fn, preTemps)
+	outOfSSA(fn, preTemps)
+	if opts.Verify {
+		if err := ir.Verify(fn); err != nil {
+			panic(fmt.Sprintf("ssapre: invalid IR after out-of-SSA: %v", err))
+		}
+	}
+	return stats
+}
+
+// mustHold panics when a transformation broke the IR or SSA invariants —
+// only reachable with Options.Verify, i.e. under test.
+func mustHold(fn *ir.Func) {
+	if err := ir.Verify(fn); err != nil {
+		panic(fmt.Sprintf("ssapre: invalid IR: %v", err))
+	}
+	if err := ir.VerifySSA(fn); err != nil {
+		panic(fmt.Sprintf("ssapre: invalid SSA: %v", err))
+	}
+}
+
+// preTemp registers a materialization temporary so out-of-SSA coalesces
+// all of its versions into one register (the advanced-load / check-load
+// pairing requires the ALAT key register to be stable).
+func (w *web) preTemp(t *ir.Sym) {
+	w.preTemps[t] = true
+}

@@ -1,0 +1,293 @@
+// Package repro is the public API of the speculative-compilation
+// framework, a reproduction of Lin et al., "A Compiler Framework for
+// Speculative Analysis and Optimizations" (PLDI 2003).
+//
+// The pipeline compiles MiniC source through alias analysis, alias/edge
+// profiling, the speculative SSA form, speculative SSAPRE (partial
+// redundancy elimination, register promotion, strength reduction), and
+// code generation for an EPIC-style virtual machine with an ALAT, whose
+// performance counters reproduce the paper's measurements.
+//
+// Typical use:
+//
+//	c, err := repro.Compile(src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: []int64{100}})
+//	res, err := c.Run([]int64{1000})
+//	fmt.Println(res.Output, res.Counters.LoadsRetired)
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/source"
+	"repro/internal/ssapre"
+)
+
+// SpecMode selects the data-speculation flag source.
+type SpecMode int
+
+const (
+	// SpecOff disables data speculation (the paper's O3 baseline:
+	// non-speculative PRE over type-based alias analysis).
+	SpecOff SpecMode = iota
+	// SpecProfile drives speculation from an alias-profiling run
+	// (paper §3.2.1).
+	SpecProfile
+	// SpecHeuristic drives speculation from the three heuristic rules
+	// (paper §3.2.2); no alias profile is needed.
+	SpecHeuristic
+)
+
+func (m SpecMode) String() string {
+	switch m {
+	case SpecOff:
+		return "off"
+	case SpecProfile:
+		return "profile"
+	case SpecHeuristic:
+		return "heuristic"
+	}
+	return "specmode?"
+}
+
+func (m SpecMode) coreMode() core.Mode {
+	switch m {
+	case SpecProfile:
+		return core.ModeProfile
+	case SpecHeuristic:
+		return core.ModeHeuristic
+	}
+	return core.ModeNone
+}
+
+// Config controls a compilation.
+type Config struct {
+	// Spec selects the data-speculation mode.
+	Spec SpecMode
+	// NoControlSpec disables profile-guided control speculation
+	// (insertion at non-down-safe Φs), which is otherwise on whenever
+	// the optimizer runs (it is part of the paper's baseline SSAPRE).
+	NoControlSpec bool
+	// OptimizeOff disables PRE entirely (unoptimized code, for limit
+	// studies and debugging).
+	OptimizeOff bool
+	// NoArith restricts PRE to loads only (register promotion alone).
+	NoArith bool
+	// NoStrength disables the strength-reduction / LFTR client.
+	NoStrength bool
+	// NoTypeBasedAA disables type-based alias disambiguation (ablation;
+	// the paper's baseline includes it).
+	NoTypeBasedAA bool
+	// ProfileArgs is the training input for the alias/edge profiling run
+	// (used by SpecProfile and for edge profiles; when profiling fails
+	// or is skipped, a static Ball-Larus-style estimate is used).
+	ProfileArgs []int64
+	// ProfileJSON, when non-empty, supplies a previously collected
+	// profile (from CollectProfile or `aliasprof -o`) instead of running
+	// the training input at compile time — the paper's separate
+	// profile-then-recompile feedback workflow.
+	ProfileJSON []byte
+	// Rounds overrides the number of PRE rounds (default 2).
+	Rounds int
+	// Schedule enables the latency-driven list scheduler (the
+	// instruction-scheduling client of the paper's Fig. 3). Its effect
+	// is visible under the pipelined VM timing model
+	// (Machine.Pipelined).
+	Schedule bool
+	// Machine tunes the VM model; zero value uses machine.Defaults().
+	Machine machine.Config
+	// AggressivePromotion treats every chi as ignorable (no profile
+	// consultation) — the paper's Fig. 12 "aggressive register
+	// promotion" upper bound. Implies data speculation with empty
+	// profiles.
+	AggressivePromotion bool
+}
+
+// Compilation is a compiled program plus everything the experiments need.
+type Compilation struct {
+	Config  Config
+	Source  string
+	Prog    *ir.Program // optimized IR
+	Ref     *ir.Program // unoptimized reference IR (fresh compile)
+	Code    *machine.Program
+	Stats   map[string]*ssapre.Stats
+	Profile *profile.Profile
+	Alias   *alias.Result
+}
+
+// frontend parses + lowers a fresh IR from source.
+func frontend(src string) (*ir.Program, error) {
+	f, err := source.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return source.Lower(f)
+}
+
+// Compile runs the full pipeline on MiniC source.
+func Compile(src string, cfg Config) (*Compilation, error) {
+	ref, err := frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compilation{Config: cfg, Source: src, Prog: prog, Ref: ref}
+
+	if !cfg.OptimizeOff {
+		// flow-sensitive refinement (paper Fig. 4): devirtualize
+		// references whose address resolves to a single variable
+		alias.Refine(prog)
+		ar := alias.Analyze(prog, alias.Options{TypeBased: !cfg.NoTypeBasedAA})
+		ar.Annotate(prog)
+		c.Alias = ar
+
+		var prof *profile.Profile
+		if len(cfg.ProfileJSON) > 0 {
+			p, err := profile.Unmarshal(prog, cfg.ProfileJSON)
+			if err != nil {
+				return nil, fmt.Errorf("repro: %w", err)
+			}
+			prof = p
+			prof.ApplyEdges(prog)
+			c.Profile = prof
+		} else {
+			prof = profile.New()
+			_, perr := interp.Run(prog, interp.Options{
+				CollectEdges: true, CollectAlias: true, Profile: prof, Args: cfg.ProfileArgs,
+			})
+			if perr == nil {
+				prof.ApplyEdges(prog)
+				c.Profile = prof
+			} else {
+				profile.StaticEstimate(prog)
+				prof = nil
+			}
+		}
+
+		mode := cfg.Spec.coreMode()
+		if cfg.AggressivePromotion {
+			// ignore every alias: empty profile sets leave all chis weak
+			mode = core.ModeProfile
+			core.AssignFlags(prog, ar, profile.New(), mode)
+		} else {
+			core.AssignFlags(prog, ar, prof, mode)
+		}
+
+		controlSpec := !cfg.NoControlSpec
+		c.Stats = ssapre.Run(prog, ssapre.Options{
+			DataSpec:    mode,
+			ControlSpec: controlSpec,
+			Rounds:      cfg.Rounds,
+			Alias:       ar,
+			NoArith:     cfg.NoArith,
+			NoStrength:  cfg.NoStrength,
+		})
+		for _, fn := range prog.Funcs {
+			if err := ir.Verify(fn); err != nil {
+				return nil, fmt.Errorf("repro: optimizer produced invalid IR: %w", err)
+			}
+		}
+	}
+
+	if cfg.Schedule {
+		codegen.Schedule(prog)
+	}
+	code, err := codegen.Lower(prog)
+	if err != nil {
+		return nil, err
+	}
+	c.Code = code
+	return c, nil
+}
+
+// Run executes the compiled program on the EPIC VM.
+func (c *Compilation) Run(args []int64) (*machine.Result, error) {
+	return machine.Run(c.Code, args, c.Config.Machine, nil)
+}
+
+// RunReference interprets the unoptimized IR (the semantic oracle).
+func (c *Compilation) RunReference(args []int64) (*interp.Result, error) {
+	return interp.Run(c.Ref, interp.Options{Args: args})
+}
+
+// TotalStats sums optimizer statistics over all functions.
+func (c *Compilation) TotalStats() ssapre.Stats {
+	var total ssapre.Stats
+	for _, s := range c.Stats {
+		total.Add(*s)
+	}
+	return total
+}
+
+// CollectProfile runs the alias/edge profiler on src with the given
+// training input and returns the serialized profile, suitable for
+// Config.ProfileJSON in a later Compile.
+func CollectProfile(src string, args []int64) ([]byte, error) {
+	prog, err := frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	// the same refinement that Compile applies must run first so that
+	// reference-site ids line up
+	alias.Refine(prog)
+	prof := profile.New()
+	if _, err := interp.Run(prog, interp.Options{
+		CollectEdges: true, CollectAlias: true, Profile: prof, Args: args,
+	}); err != nil {
+		return nil, err
+	}
+	return profile.Marshal(prog, prof)
+}
+
+// Reference interprets the unoptimized program and returns its result.
+func Reference(src string, args []int64) (*interp.Result, error) {
+	prog, err := frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	return interp.Run(prog, interp.Options{Args: args})
+}
+
+// ReuseLimit runs the Fig. 12 simulation-based load-reuse limit study on
+// the unoptimized program: references with identical syntax trees form
+// equivalence classes and repeats of the same (class, address, value) are
+// counted as potential speculative reuses.
+func ReuseLimit(src string, args []int64) (*interp.ReuseSim, error) {
+	prog, err := frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	keys := ir.SiteSyntaxKeys(prog)
+	classes := map[int]int{}
+	classIDs := map[string]int{}
+	for site, key := range keys {
+		id, ok := classIDs[key]
+		if !ok {
+			id = len(classIDs)
+			classIDs[key] = id
+		}
+		classes[site] = id
+	}
+	sim := interp.NewReuseSim(classes)
+	if _, err := interp.Run(prog, interp.Options{Args: args, Reuse: sim}); err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// PipelinedMachine returns the default machine model with the pipelined
+// scoreboard timing enabled, for use in Config.Machine.
+func PipelinedMachine() machine.Config {
+	cfg := machine.Defaults()
+	cfg.Pipelined = true
+	return cfg
+}
