@@ -3,10 +3,12 @@ package repro_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/workloads"
 )
 
@@ -227,6 +229,92 @@ func BenchmarkPipelineCompile(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// sweepOnce compiles every workload once. sweepWorkers bounds how many
+// workloads compile concurrently and is also handed to each compilation
+// as its per-function worker bound (so 1 is the fully serial engine and
+// 0 saturates every core at both tiers).
+func sweepOnce(ws []workloads.Workload, sweepWorkers int) error {
+	return par.Each(sweepWorkers, len(ws), func(i int) error {
+		w := ws[i]
+		cfg := repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs, Workers: sweepWorkers}
+		_, err := repro.Compile(w.Src, cfg)
+		return err
+	})
+}
+
+// BenchmarkPipelineSerial is the Workers=1 oracle twin of
+// BenchmarkPipelineParallel: the whole workload suite compiled strictly
+// serially. The compiles/s gap between the two benchmarks is the
+// wall-clock win of the parallel pipeline on this machine.
+func BenchmarkPipelineSerial(b *testing.B) {
+	ws := workloads.All()
+	if err := sweepOnce(ws, 1); err != nil { // warm the frontend cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweepOnce(ws, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ws)*b.N)/b.Elapsed().Seconds(), "compiles/s")
+}
+
+// BenchmarkPipelineParallel compiles the whole workload suite with the
+// parallel pipeline (workload-level fan-out plus per-function parallelism
+// inside every compile) and reports compiles/s and the speedup over a
+// serial pass measured on the same machine. On a single-core runner the
+// speedup degenerates to ~1x by construction.
+func BenchmarkPipelineParallel(b *testing.B) {
+	ws := workloads.All()
+	if err := sweepOnce(ws, 0); err != nil { // warm the frontend cache
+		b.Fatal(err)
+	}
+	serialStart := time.Now()
+	if err := sweepOnce(ws, 1); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(serialStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweepOnce(ws, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perPass := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(len(ws)*b.N)/b.Elapsed().Seconds(), "compiles/s")
+	if perPass > 0 {
+		b.ReportMetric(serial.Seconds()/perPass.Seconds(), "speedup_vs_serial")
+	}
+}
+
+// BenchmarkFrontendCache measures what the compilation cache is worth: a
+// cold parse+lower per compile versus a cache hit handing out a deep
+// clone.
+func BenchmarkFrontendCache(b *testing.B) {
+	w, _ := workloads.ByName("equake")
+	cfg := repro.Config{OptimizeOff: true}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repro.ResetFrontendCache()
+			if _, err := repro.Compile(w.Src, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := repro.Compile(w.Src, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := repro.Compile(w.Src, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkVMExecution measures VM throughput on the optimized equake

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/par"
 )
 
 // Annotate installs the initial chi and mu lists on every statement of the
@@ -23,62 +24,95 @@ import (
 // Annotate records which virtual symbols each function now references in
 // FuncVirtuals, for the SSA renamer.
 func (r *Result) Annotate(prog *ir.Program) {
+	r.AnnotateWorkers(prog, 0)
+}
+
+// AnnotateWorkers annotates with at most workers functions in flight
+// (0 = all cores, 1 = serial). Annotation writes only the target
+// function's statements and reads the (by now frozen) analysis maps, so
+// the chi/mu lists are identical at every worker count. The per-function
+// symbol-set cache that visibleIn builds lazily is precomputed up front
+// so the parallel phase never mutates the Result.
+func (r *Result) AnnotateWorkers(prog *ir.Program, workers int) {
 	if r.FuncVirtuals == nil {
 		r.FuncVirtuals = map[*ir.Func][]*ir.Sym{}
 	}
-	for _, f := range prog.Funcs {
-		used := map[*ir.Sym]bool{}
-		noteSyms := func(syms []*ir.Sym) {
-			for _, s := range syms {
-				if s.Kind == ir.SymVirtual {
-					used[s] = true
-				}
-			}
-		}
-		for _, b := range f.Blocks {
-			for _, st := range b.Stmts {
-				switch t := st.(type) {
-				case *ir.Assign:
-					switch {
-					case t.RK == ir.RHSLoad && t.Site != 0:
-						syms := r.aliasSyms(f, r.SiteClass[t.Site], t.LoadsFrom)
-						t.Mus = makeMus(syms)
-						noteSyms(syms)
-					case t.Dst.Sym.InMemory():
-						// direct store: chi on the virtual variable of the
-						// target's class (the contents summary changes)
-						if vv, ok := r.VV[r.ClassOfSym[t.Dst.Sym]]; ok {
-							t.Chis = []*ir.Chi{{Sym: vv}}
-							noteSyms([]*ir.Sym{vv})
-						}
-					}
-				case *ir.IStore:
-					if t.Site != 0 {
-						syms := r.aliasSyms(f, r.SiteClass[t.Site], t.StoresTo)
-						t.Chis = makeChis(syms)
-						noteSyms(syms)
-					}
-				case *ir.Call:
-					callee, ok := prog.FuncMap[t.Fn]
-					if !ok {
-						continue // builtins have no memory side effects
-					}
-					mods := r.sideEffectSyms(f, r.ModSyms[callee], r.ModClasses[callee])
-					refs := r.sideEffectSyms(f, r.RefSyms[callee], r.RefClasses[callee])
-					t.Chis = makeChis(mods)
-					t.Mus = makeMus(refs)
-					noteSyms(mods)
-					noteSyms(refs)
-				}
-			}
-		}
-		var virts []*ir.Sym
-		for s := range used {
-			virts = append(virts, s)
-		}
-		sort.Slice(virts, func(i, j int) bool { return virts[i].Name < virts[j].Name })
-		r.FuncVirtuals[f] = virts
+	if r.funcSymSet == nil {
+		r.funcSymSet = map[*ir.Func]map[*ir.Sym]bool{}
 	}
+	for _, f := range prog.Funcs {
+		if r.funcSymSet[f] == nil {
+			set := make(map[*ir.Sym]bool, len(f.Syms))
+			for _, fs := range f.Syms {
+				set[fs] = true
+			}
+			r.funcSymSet[f] = set
+		}
+	}
+	virtsOf := make([][]*ir.Sym, len(prog.Funcs))
+	par.Each(workers, len(prog.Funcs), func(i int) error {
+		virtsOf[i] = r.annotateFunc(prog, prog.Funcs[i])
+		return nil
+	})
+	for i, f := range prog.Funcs {
+		r.FuncVirtuals[f] = virtsOf[i]
+	}
+}
+
+// annotateFunc installs the chi/mu lists on one function and returns the
+// virtual symbols it now references.
+func (r *Result) annotateFunc(prog *ir.Program, f *ir.Func) []*ir.Sym {
+	used := map[*ir.Sym]bool{}
+	noteSyms := func(syms []*ir.Sym) {
+		for _, s := range syms {
+			if s.Kind == ir.SymVirtual {
+				used[s] = true
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, st := range b.Stmts {
+			switch t := st.(type) {
+			case *ir.Assign:
+				switch {
+				case t.RK == ir.RHSLoad && t.Site != 0:
+					syms := r.aliasSyms(f, r.SiteClass[t.Site], t.LoadsFrom)
+					t.Mus = makeMus(syms)
+					noteSyms(syms)
+				case t.Dst.Sym.InMemory():
+					// direct store: chi on the virtual variable of the
+					// target's class (the contents summary changes)
+					if vv, ok := r.VV[r.ClassOfSym[t.Dst.Sym]]; ok {
+						t.Chis = []*ir.Chi{{Sym: vv}}
+						noteSyms([]*ir.Sym{vv})
+					}
+				}
+			case *ir.IStore:
+				if t.Site != 0 {
+					syms := r.aliasSyms(f, r.SiteClass[t.Site], t.StoresTo)
+					t.Chis = makeChis(syms)
+					noteSyms(syms)
+				}
+			case *ir.Call:
+				callee, ok := prog.FuncMap[t.Fn]
+				if !ok {
+					continue // builtins have no memory side effects
+				}
+				mods := r.sideEffectSyms(f, r.ModSyms[callee], r.ModClasses[callee])
+				refs := r.sideEffectSyms(f, r.RefSyms[callee], r.RefClasses[callee])
+				t.Chis = makeChis(mods)
+				t.Mus = makeMus(refs)
+				noteSyms(mods)
+				noteSyms(refs)
+			}
+		}
+	}
+	var virts []*ir.Sym
+	for s := range used {
+		virts = append(virts, s)
+	}
+	sort.Slice(virts, func(i, j int) bool { return virts[i].Name < virts[j].Name })
+	return virts
 }
 
 // aliasSyms returns the ordered chi/mu symbol list for an indirect

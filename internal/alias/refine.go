@@ -2,6 +2,7 @@ package alias
 
 import (
 	"repro/internal/ir"
+	"repro/internal/par"
 )
 
 // Refine performs the flow-sensitive refinement step of the paper's
@@ -14,11 +15,25 @@ import (
 // scalar read, both of which sharpen every later phase.
 //
 // Refine runs on the pre-SSA flattened IR, before chi/mu annotation.
-// It returns the number of references rewritten.
+// It returns the number of references rewritten. Functions refine
+// concurrently on every core; use RefineWorkers to bound or serialize.
 func Refine(prog *ir.Program) int {
+	return RefineWorkers(prog, 0)
+}
+
+// RefineWorkers refines with at most workers functions in flight
+// (0 = all cores, 1 = serial). Each function's rewrite reads and writes
+// only that function's statements, so the result is identical at every
+// worker count.
+func RefineWorkers(prog *ir.Program, workers int) int {
+	counts := make([]int, len(prog.Funcs))
+	par.Each(workers, len(prog.Funcs), func(i int) error {
+		counts[i] = refineFunc(prog.Funcs[i])
+		return nil
+	})
 	total := 0
-	for _, f := range prog.Funcs {
-		total += refineFunc(f)
+	for _, n := range counts {
+		total += n
 	}
 	return total
 }

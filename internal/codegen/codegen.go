@@ -11,22 +11,32 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/par"
 )
 
 // Lower compiles a program. The IR must be out of SSA form (versions are
-// ignored; each symbol is one register).
+// ignored; each symbol is one register). Functions lower concurrently on
+// every core; use LowerWorkers to bound or serialize.
 func Lower(prog *ir.Program) (*machine.Program, error) {
+	return LowerWorkers(prog, 0)
+}
+
+// LowerWorkers compiles a program with at most workers functions lowering
+// concurrently (0 = all cores, 1 = serial). Each function's code depends
+// only on that function's IR, so the emitted program is identical at
+// every worker count.
+func LowerWorkers(prog *ir.Program, workers int) (*machine.Program, error) {
+	fcs, err := par.Map(workers, prog.Funcs, lowerFunc)
+	if err != nil {
+		return nil, err
+	}
 	mp := &machine.Program{
-		Funcs:      map[string]*machine.FuncCode{},
+		Funcs:      make(map[string]*machine.FuncCode, len(fcs)),
 		GlobSize:   prog.GlobSize,
 		GlobalInit: prog.GlobalInit,
 	}
-	for _, fn := range prog.Funcs {
-		fc, err := lowerFunc(fn)
-		if err != nil {
-			return nil, err
-		}
-		mp.Funcs[fn.Name] = fc
+	for _, fc := range fcs {
+		mp.Funcs[fc.Name] = fc
 	}
 	return mp, nil
 }

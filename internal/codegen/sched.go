@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/par"
 )
 
 // Schedule performs latency-driven list scheduling inside each basic block
@@ -19,11 +20,19 @@ import (
 // outright). Calls and prints are full barriers. Register dependences
 // (flow, anti, output) are honoured exactly.
 func Schedule(prog *ir.Program) {
-	for _, f := range prog.Funcs {
-		for _, b := range f.Blocks {
+	ScheduleWorkers(prog, 0)
+}
+
+// ScheduleWorkers schedules with at most workers functions in flight
+// (0 = all cores, 1 = serial). Scheduling touches only the function's own
+// blocks, so the result is independent of the worker count.
+func ScheduleWorkers(prog *ir.Program, workers int) {
+	par.Each(workers, len(prog.Funcs), func(i int) error {
+		for _, b := range prog.Funcs[i].Blocks {
 			b.Stmts = scheduleBlock(b.Stmts)
 		}
-	}
+		return nil
+	})
 }
 
 // stmtLatency estimates the result latency of a statement, mirroring the

@@ -160,9 +160,15 @@ func BuildSSA(fn *ir.Func, virtuals []*ir.Sym) *SSA {
 		}
 		return st[len(st)-1]
 	}
+	// Version numbers are allocated per function, not on the Sym: globals
+	// and virtual variables are shared by every function, and a counter on
+	// the Sym itself would make numbering depend on the order functions
+	// are renamed (and race when functions are renamed concurrently).
+	// Versions only need to be unique within one function's web.
+	vers := map[*ir.Sym]int{}
 	newVer := func(sym *ir.Sym) int {
-		sym.NVers++
-		return sym.NVers
+		vers[sym]++
+		return vers[sym]
 	}
 	for _, sym := range s.Vars {
 		s.Def[SymVer{sym, 0}] = Def{Kind: DefEntry, Block: fn.Entry}

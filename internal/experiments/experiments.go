@@ -22,6 +22,7 @@ import (
 
 	"repro"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/workloads"
 )
 
@@ -96,75 +97,99 @@ func (r Row) HeurLoadReduction() float64 {
 }
 
 // RunAll measures every workload under base (SpecOff), profile-guided and
-// heuristic speculation, plus the Fig. 12 limit methods.
+// heuristic speculation, plus the Fig. 12 limit methods. Workloads run
+// concurrently on every core; use RunAllWorkers to bound or serialize.
 func RunAll() ([]Row, error) {
-	var rows []Row
-	for _, w := range workloads.All() {
-		row, err := RunOne(w)
+	return RunAllWorkers(0)
+}
+
+// RunAllWorkers runs the sweep with at most workers workloads in flight
+// (0 = all cores, 1 = the serial oracle). The same worker bound is
+// threaded into each workload's config sweep and from there into every
+// compilation, so workers=1 reproduces the fully serial engine.
+func RunAllWorkers(workers int) ([]Row, error) {
+	ws := workloads.All()
+	rows := make([]Row, len(ws))
+	err := par.Each(workers, len(ws), func(i int) error {
+		row, err := RunOneWorkers(ws[i], workers)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", ws[i].Name, err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-// RunOne measures a single workload.
+// RunOne measures a single workload, fanning its config variants out over
+// every core.
 func RunOne(w workloads.Workload) (Row, error) {
+	return RunOneWorkers(w, 0)
+}
+
+// RunOneWorkers measures a single workload with at most workers config
+// variants compiling concurrently. Every variant re-compiles the same
+// source, so all of them after the first hit the frontend compilation
+// cache and pay only for their own optimization pipeline.
+func RunOneWorkers(w workloads.Workload, workers int) (Row, error) {
 	row := Row{Name: w.Name}
 
-	type variant struct {
-		cfg    repro.Config
-		loads  *int64
-		cycles *int64
-		data   *int64
-		full   bool // record check counters too
+	variants := []repro.Config{
+		{Spec: repro.SpecOff},
+		{Spec: repro.SpecProfile},
+		{Spec: repro.SpecHeuristic},
+		{AggressivePromotion: true},
 	}
-	var aggLoads int64
-	variants := []variant{
-		{cfg: repro.Config{Spec: repro.SpecOff}, loads: &row.BaseLoads, cycles: &row.BaseCycles, data: &row.BaseData},
-		{cfg: repro.Config{Spec: repro.SpecProfile}, loads: &row.SpecLoads, cycles: &row.SpecCycles, data: &row.SpecData, full: true},
-		{cfg: repro.Config{Spec: repro.SpecHeuristic}, loads: &row.HeurLoads, cycles: &row.HeurCycles},
-		{cfg: repro.Config{AggressivePromotion: true}, loads: &aggLoads},
-	}
-	var out string
-	for i, v := range variants {
-		v.cfg.ProfileArgs = w.ProfileArgs
-		c, err := repro.Compile(w.Src, v.cfg)
+	results := make([]*machine.Result, len(variants))
+	var reusePotential float64
+	// the variants plus the Fig. 12 reuse-limit simulation are mutually
+	// independent; item len(variants) is the simulation
+	err := par.Each(workers, len(variants)+1, func(i int) error {
+		if i == len(variants) {
+			sim, err := repro.ReuseLimit(w.Src, w.RefArgs)
+			if err != nil {
+				return err
+			}
+			reusePotential = sim.PotentialReduction()
+			return nil
+		}
+		cfg := variants[i]
+		cfg.ProfileArgs = w.ProfileArgs
+		cfg.Workers = workers
+		c, err := repro.Compile(w.Src, cfg)
 		if err != nil {
-			return row, err
+			return err
 		}
 		res, err := c.Run(w.RefArgs)
 		if err != nil {
-			return row, err
+			return err
 		}
-		if i == 0 {
-			out = res.Output
-		} else if res.Output != out {
-			return row, fmt.Errorf("output mismatch between variants: %q vs %q", res.Output, out)
-		}
-		*v.loads = res.Counters.LoadsRetired - res.Counters.CheckLoads
-		if v.cycles != nil {
-			*v.cycles = res.Counters.Cycles
-		}
-		if v.data != nil {
-			*v.data = res.Counters.DataAccessCycles
-		}
-		if v.full {
-			row.Checks = res.Counters.CheckLoads
-			row.FailedChecks = res.Counters.FailedChecks
-			row.LoadsRetired = res.Counters.LoadsRetired
-		}
-	}
-	if row.BaseLoads > 0 {
-		row.AggressiveReduction = 1 - float64(aggLoads)/float64(row.BaseLoads)
-	}
-
-	sim, err := repro.ReuseLimit(w.Src, w.RefArgs)
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return row, err
 	}
-	row.ReusePotential = sim.PotentialReduction()
+	base, spec, heur, agg := results[0], results[1], results[2], results[3]
+	for _, r := range results[1:] {
+		if r.Output != base.Output {
+			return row, fmt.Errorf("output mismatch between variants: %q vs %q", r.Output, base.Output)
+		}
+	}
+	plainLoads := func(r *machine.Result) int64 { return r.Counters.LoadsRetired - r.Counters.CheckLoads }
+	row.BaseLoads, row.BaseCycles, row.BaseData = plainLoads(base), base.Counters.Cycles, base.Counters.DataAccessCycles
+	row.SpecLoads, row.SpecCycles, row.SpecData = plainLoads(spec), spec.Counters.Cycles, spec.Counters.DataAccessCycles
+	row.Checks = spec.Counters.CheckLoads
+	row.FailedChecks = spec.Counters.FailedChecks
+	row.LoadsRetired = spec.Counters.LoadsRetired
+	row.HeurLoads, row.HeurCycles = plainLoads(heur), heur.Counters.Cycles
+	if row.BaseLoads > 0 {
+		row.AggressiveReduction = 1 - float64(plainLoads(agg))/float64(row.BaseLoads)
+	}
+	row.ReusePotential = reusePotential
 	return row, nil
 }
 

@@ -1,0 +1,245 @@
+package ir
+
+// Clone returns a deep copy of a program that shares no mutable state
+// with the original: every Func, Block, Sym, Stmt, Phi, Mu, Chi, Ref and
+// constant operand is a fresh object, so passes may mutate one program
+// (SSA renaming bumps Ref.Ver and Sym.NVers in place, annotation attaches
+// chi/mu lists, code motion rewrites statements) without the other ever
+// observing a change. Types are shared: they are interned by the front
+// end and treated as immutable everywhere.
+//
+// Clone is what makes the frontend compilation cache sound — the cache
+// keeps one pristine lowered program per source hash and hands every
+// caller a detached copy — and it preserves object *identity* structure:
+// if the original shares one *Ref between two statements, the clone
+// shares one cloned *Ref between the corresponding statements, so
+// in-place version rewriting behaves identically in both programs.
+func Clone(p *Program) *Program {
+	c := &cloner{
+		syms:   map[*Sym]*Sym{},
+		blocks: map[*Block]*Block{},
+		refs:   map[*Ref]*Ref{},
+		ops:    map[Operand]Operand{},
+		mus:    map[*Mu]*Mu{},
+		chis:   map[*Chi]*Chi{},
+	}
+	np := &Program{
+		FuncMap:    make(map[string]*Func, len(p.FuncMap)),
+		GlobSize:   p.GlobSize,
+		GlobalInit: make(map[int]uint64, len(p.GlobalInit)),
+		nextGlobal: p.nextGlobal,
+		nextSite:   p.nextSite,
+	}
+	for k, v := range p.GlobalInit {
+		np.GlobalInit[k] = v
+	}
+	for _, g := range p.Globals {
+		np.Globals = append(np.Globals, c.sym(g))
+	}
+	for _, f := range p.Funcs {
+		nf := c.fn(f, np)
+		np.Funcs = append(np.Funcs, nf)
+		np.FuncMap[nf.Name] = nf
+	}
+	return np
+}
+
+type cloner struct {
+	syms   map[*Sym]*Sym
+	blocks map[*Block]*Block
+	refs   map[*Ref]*Ref
+	ops    map[Operand]Operand
+	mus    map[*Mu]*Mu
+	chis   map[*Chi]*Chi
+}
+
+func (c *cloner) sym(s *Sym) *Sym {
+	if s == nil {
+		return nil
+	}
+	if n, ok := c.syms[s]; ok {
+		return n
+	}
+	n := &Sym{}
+	*n = *s // Type is shared by design
+	c.syms[s] = n
+	return n
+}
+
+func (c *cloner) ref(r *Ref) *Ref {
+	if r == nil {
+		return nil
+	}
+	if n, ok := c.refs[r]; ok {
+		return n
+	}
+	n := &Ref{Sym: c.sym(r.Sym), Ver: r.Ver}
+	c.refs[r] = n
+	return n
+}
+
+func (c *cloner) operand(op Operand) Operand {
+	if op == nil {
+		return nil
+	}
+	if n, ok := c.ops[op]; ok {
+		return n
+	}
+	var n Operand
+	switch o := op.(type) {
+	case *ConstInt:
+		n = &ConstInt{Val: o.Val}
+	case *ConstFloat:
+		n = &ConstFloat{Val: o.Val}
+	case *Ref:
+		return c.ref(o)
+	case *AddrOf:
+		n = &AddrOf{Sym: c.sym(o.Sym)}
+	default:
+		panic("ir: Clone of unknown operand kind")
+	}
+	c.ops[op] = n
+	return n
+}
+
+func (c *cloner) mu(m *Mu) *Mu {
+	if n, ok := c.mus[m]; ok {
+		return n
+	}
+	n := &Mu{Sym: c.sym(m.Sym), Ver: m.Ver, Spec: m.Spec}
+	c.mus[m] = n
+	return n
+}
+
+func (c *cloner) chi(ch *Chi) *Chi {
+	if n, ok := c.chis[ch]; ok {
+		return n
+	}
+	n := &Chi{Sym: c.sym(ch.Sym), NewVer: ch.NewVer, OldVer: ch.OldVer, Spec: ch.Spec}
+	c.chis[ch] = n
+	return n
+}
+
+func (c *cloner) muList(ms []*Mu) []*Mu {
+	if ms == nil {
+		return nil
+	}
+	out := make([]*Mu, len(ms))
+	for i, m := range ms {
+		out[i] = c.mu(m)
+	}
+	return out
+}
+
+func (c *cloner) chiList(chs []*Chi) []*Chi {
+	if chs == nil {
+		return nil
+	}
+	out := make([]*Chi, len(chs))
+	for i, ch := range chs {
+		out[i] = c.chi(ch)
+	}
+	return out
+}
+
+func (c *cloner) stmt(s Stmt) Stmt {
+	switch t := s.(type) {
+	case *Assign:
+		n := &Assign{
+			Dst:       c.ref(t.Dst),
+			RK:        t.RK,
+			Op:        t.Op,
+			A:         c.operand(t.A),
+			B:         c.operand(t.B),
+			Mus:       c.muList(t.Mus),
+			Chis:      c.chiList(t.Chis),
+			VV:        c.ref(t.VV),
+			AllocSite: t.AllocSite,
+			Site:      t.Site,
+			Spec:      t.Spec,
+			LoadsFrom: t.LoadsFrom,
+		}
+		return n
+	case *IStore:
+		return &IStore{
+			Addr:     c.operand(t.Addr),
+			Val:      c.operand(t.Val),
+			VV:       c.ref(t.VV),
+			VVOld:    t.VVOld,
+			Chis:     c.chiList(t.Chis),
+			StoresTo: t.StoresTo,
+			Site:     t.Site,
+		}
+	case *Call:
+		n := &Call{Fn: t.Fn, Dst: c.ref(t.Dst), Mus: c.muList(t.Mus), Chis: c.chiList(t.Chis), Site: t.Site}
+		for _, a := range t.Args {
+			n.Args = append(n.Args, c.operand(a))
+		}
+		return n
+	case *Print:
+		n := &Print{}
+		for _, a := range t.Args {
+			n.Args = append(n.Args, c.operand(a))
+		}
+		return n
+	}
+	panic("ir: Clone of unknown statement kind")
+}
+
+// block returns the clone shell for b, creating it on first use so that
+// CFG edges can be wired before block bodies are filled in.
+func (c *cloner) block(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	if n, ok := c.blocks[b]; ok {
+		return n
+	}
+	n := &Block{ID: b.ID, Freq: b.Freq}
+	c.blocks[b] = n
+	return n
+}
+
+func (c *cloner) fn(f *Func, np *Program) *Func {
+	nf := &Func{
+		Name:      f.Name,
+		RetType:   f.RetType,
+		FrameSize: f.FrameSize,
+		prog:      np,
+		nextSym:   f.nextSym,
+		nextBlk:   f.nextBlk,
+	}
+	for _, s := range f.Syms {
+		nf.Syms = append(nf.Syms, c.sym(s))
+	}
+	for _, p := range f.Params {
+		nf.Params = append(nf.Params, c.sym(p))
+	}
+	for _, b := range f.Blocks {
+		nb := c.block(b)
+		if b.EdgeFreq != nil {
+			nb.EdgeFreq = append([]float64(nil), b.EdgeFreq...)
+		}
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, c.block(p))
+		}
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, c.block(s))
+		}
+		for _, phi := range b.Phis {
+			nphi := &Phi{Sym: c.sym(phi.Sym), Ver: phi.Ver}
+			for _, a := range phi.Args {
+				nphi.Args = append(nphi.Args, c.ref(a))
+			}
+			nb.Phis = append(nb.Phis, nphi)
+		}
+		for _, st := range b.Stmts {
+			nb.Stmts = append(nb.Stmts, c.stmt(st))
+		}
+		nb.Term = Term{Kind: b.Term.Kind, Cond: c.operand(b.Term.Cond), Val: c.operand(b.Term.Val)}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	nf.Entry = c.block(f.Entry)
+	nf.Exit = c.block(f.Exit)
+	return nf
+}

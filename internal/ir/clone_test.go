@@ -1,0 +1,157 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/source"
+)
+
+const cloneSrc = `
+int g;
+int buf[8];
+
+int touch(int *p, int i) {
+	*p = *p + i;
+	g = g + 1;
+	return *p;
+}
+
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 8; i = i + 1) {
+		buf[i] = i * 3;
+		s = s + touch(&buf[i], i);
+	}
+	print(s, g);
+	return s;
+}
+`
+
+func lowerClone(t *testing.T) *ir.Program {
+	t.Helper()
+	f, err := source.Parse(cloneSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := source.Lower(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+// TestCloneIsIdentical checks the clone renders to the very same IR and
+// carries identical bookkeeping counters.
+func TestCloneIsIdentical(t *testing.T) {
+	orig := lowerClone(t)
+	clone := ir.Clone(orig)
+	if orig.String() != clone.String() {
+		t.Fatalf("clone differs from original:\n--- orig ---\n%s\n--- clone ---\n%s", orig, clone)
+	}
+	if clone.GlobSize != orig.GlobSize || clone.NumSites() != orig.NumSites() {
+		t.Fatalf("counters differ: globsize %d/%d sites %d/%d",
+			orig.GlobSize, clone.GlobSize, orig.NumSites(), clone.NumSites())
+	}
+	for i, f := range orig.Funcs {
+		cf := clone.Funcs[i]
+		if cf.Name != f.Name || cf.Prog() != clone {
+			t.Fatalf("func %d: name %q prog mismatch", i, cf.Name)
+		}
+		if clone.FuncMap[f.Name] != cf {
+			t.Fatalf("func map does not point at cloned func %s", f.Name)
+		}
+	}
+}
+
+// TestCloneSharesNoMutableState mutates each program aggressively and
+// asserts the other never changes — the detachment contract the frontend
+// compilation cache relies on.
+func TestCloneSharesNoMutableState(t *testing.T) {
+	orig := lowerClone(t)
+	origText := orig.String()
+	clone := ir.Clone(orig)
+
+	// mutate the clone: rename symbols, bump versions, rewrite statements,
+	// retarget terminators, drop blocks, poison globals.
+	for _, f := range clone.Funcs {
+		for _, s := range f.Syms {
+			s.Name = "mut_" + s.Name
+			s.NVers = 99
+			s.Class = 77
+		}
+		for _, b := range f.Blocks {
+			b.Freq = 1234
+			for _, st := range b.Stmts {
+				switch x := st.(type) {
+				case *ir.Assign:
+					x.Dst.Ver = 42
+					if ci, ok := x.A.(*ir.ConstInt); ok {
+						ci.Val = -9999
+					}
+					x.Mus = append(x.Mus, &ir.Mu{Sym: f.Syms[0]})
+					x.Site = 31337
+				case *ir.IStore:
+					x.Site = 31337
+					x.Chis = nil
+				case *ir.Call:
+					x.Fn = "hijacked"
+				}
+			}
+			if b.Term.Kind == ir.TermRet && b.Term.Val != nil {
+				b.Term.Val = &ir.ConstInt{Val: 666}
+			}
+		}
+		f.Blocks = f.Blocks[:1]
+	}
+	for _, g := range clone.Globals {
+		g.Name = "mut_" + g.Name
+		g.Addr = 4096
+	}
+	clone.GlobalInit[12345] = 1
+
+	if got := orig.String(); got != origText {
+		t.Fatalf("mutating the clone changed the original:\n--- before ---\n%s\n--- after ---\n%s", origText, got)
+	}
+	if _, ok := orig.GlobalInit[12345]; ok {
+		t.Fatal("clone shares GlobalInit map with original")
+	}
+
+	// and the other direction: a fresh clone must not see later mutations
+	// of its source program.
+	orig2 := lowerClone(t)
+	clone2 := ir.Clone(orig2)
+	cloneText := clone2.String()
+	for _, f := range orig2.Funcs {
+		for _, s := range f.Syms {
+			s.Name = "zap_" + s.Name
+		}
+	}
+	orig2.GlobalInit[777] = 8
+	if got := clone2.String(); got != cloneText {
+		t.Fatal("mutating the original changed its clone")
+	}
+	if _, ok := clone2.GlobalInit[777]; ok {
+		t.Fatal("original shares GlobalInit map with clone")
+	}
+}
+
+// TestCloneDetachedThroughPipeline runs the clone through CFG surgery and
+// checks the original's structure survives untouched.
+func TestCloneDetachedThroughPipeline(t *testing.T) {
+	orig := lowerClone(t)
+	origText := orig.String()
+	clone := ir.Clone(orig)
+	for _, f := range clone.Funcs {
+		f.SplitCriticalEdges()
+		f.RemoveUnreachable()
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("clone invalid after CFG surgery: %v", err)
+		}
+	}
+	if got := orig.String(); got != origText {
+		t.Fatal("CFG surgery on the clone leaked into the original")
+	}
+}

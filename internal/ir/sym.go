@@ -59,8 +59,11 @@ type Sym struct {
 	// frame offset. Only meaningful when InMemory() is true.
 	Addr int
 
-	// NVers is the number of SSA versions created for this symbol during
-	// renaming (versions are 1..NVers; version 0 is "entry/unknown").
+	// NVers is a version allocator for optimizer-created temporaries
+	// (versions are 1..NVers; version 0 is "entry/unknown"). The SSA
+	// renamer itself numbers versions per function and does not touch it:
+	// globals and virtual variables are shared by every function, so a
+	// counter here would race under the parallel pipeline.
 	NVers int
 }
 

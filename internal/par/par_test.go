@@ -1,0 +1,116 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		counts := make([]atomic.Int64, n)
+		if err := Each(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestEachReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom 3")
+	for _, workers := range []int{1, 4} {
+		err := Each(workers, 10, func(i int) error {
+			switch i {
+			case 3:
+				return wantErr
+			case 7:
+				return errors.New("boom 7")
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Errorf("workers=%d: got %v, want lowest-index error %v", workers, err, wantErr)
+		}
+	}
+}
+
+func TestEachSerialStopsAtFirstError(t *testing.T) {
+	ran := 0
+	err := Each(1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran != 3 {
+		t.Errorf("serial Each ran %d items after error at index 2, want 3", ran)
+	}
+}
+
+func TestEachZeroItems(t *testing.T) {
+	if err := Each(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 123)
+	for i := range in {
+		in[i] = i
+	}
+	for _, workers := range []int{1, 8} {
+		out, err := Map(workers, in, func(v int) (string, error) {
+			return fmt.Sprintf("v%d", v), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, s := range out {
+			if want := fmt.Sprintf("v%d", i); s != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, s, want)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	wantErr := errors.New("bad element")
+	out, err := Map(4, []int{0, 1, 2}, func(v int) (int, error) {
+		if v == 1 {
+			return 0, wantErr
+		}
+		return v * 2, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+	if out != nil {
+		t.Fatalf("got non-nil result %v on error", out)
+	}
+}

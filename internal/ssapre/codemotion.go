@@ -207,7 +207,7 @@ func (w *web) buildComputation(t *ir.Sym, ver int, vers map[*ir.Sym]int) *ir.Ass
 	}
 	if model.RK == ir.RHSLoad || (model.RK == ir.RHSCopy && w.ec.kind == exprDirectLoad) {
 		a.LoadsFrom = w.ec.loadType
-		a.Site = w.ssa.Fn.Prog().NextSite()
+		w.sites.alloc(a)
 		// rebuild the mu list at the insertion point's versions
 		for _, mu := range model.Mus {
 			a.Mus = append(a.Mus, &ir.Mu{Sym: mu.Sym, Ver: vers[mu.Sym], Spec: mu.Spec})

@@ -59,12 +59,17 @@ type web struct {
 	checkedTemps map[*ir.Sym]bool
 	copies       map[core.SymVer]ir.Operand // pure-copy resolver for value matching
 
+	// sites allocates reference-site ids for inserted loads. Function
+	// passes run concurrently, so ids are function-local placeholders
+	// renumbered by Run once every function has finished.
+	sites *siteAlloc
+
 	temp  *ir.Sym // materialization temp (created on demand)
 	stats Stats
 }
 
 func newWeb(ssa *core.SSA, ec *exprClass, opts Options, copies map[core.SymVer]ir.Operand) *web {
-	w := &web{ssa: ssa, ec: ec, opts: opts, phiAt: map[*ir.Block]*phiOcc{}, occSet: map[*ir.Assign]*occurrence{}, copies: copies}
+	w := &web{ssa: ssa, ec: ec, opts: opts, phiAt: map[*ir.Block]*phiOcc{}, occSet: map[*ir.Assign]*occurrence{}, copies: copies, sites: &siteAlloc{}}
 	for _, o := range ec.occs {
 		w.occSet[o.stmt] = o
 	}

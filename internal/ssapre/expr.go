@@ -38,6 +38,9 @@ type Options struct {
 	// Verify re-checks CFG and SSA invariants after every PRE round and
 	// transformation (used by the test suite; costs compile time).
 	Verify bool
+	// Workers bounds the number of functions optimized concurrently:
+	// 0 uses every core, 1 reproduces the serial pipeline bit-for-bit.
+	Workers int
 }
 
 // Stats reports what the optimizer did to one function.

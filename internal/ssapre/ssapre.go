@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/par"
 )
 
 // Run optimizes every function of the program with speculative SSAPRE and
@@ -13,6 +14,13 @@ import (
 // edge frequencies should be applied (profile.ApplyEdges or
 // profile.StaticEstimate) when control speculation is on. After Run the
 // program is out of SSA form and ready for code generation.
+//
+// Functions are optimized concurrently on Options.Workers goroutines
+// (0 = all cores, 1 = the serial oracle). Each function's SSAPRE is
+// independent; the only program-global state a function pass touches is
+// the reference-site counter, which is virtualized per function during
+// the parallel phase and renumbered in program order afterwards, so the
+// resulting IR is bit-for-bit identical to a serial run.
 func Run(prog *ir.Program, opts Options) map[string]*Stats {
 	if opts.Rounds <= 0 {
 		// each round unifies one level of an expression tree (the next
@@ -20,14 +28,47 @@ func Run(prog *ir.Program, opts Options) map[string]*Stats {
 		// made); rounds stop early once a pass changes nothing
 		opts.Rounds = 8
 	}
-	res := map[string]*Stats{}
-	for _, fn := range prog.Funcs {
-		res[fn.Name] = runFunc(fn, opts)
+	stats := make([]*Stats, len(prog.Funcs))
+	sites := make([]*siteAlloc, len(prog.Funcs))
+	par.Each(opts.Workers, len(prog.Funcs), func(i int) error {
+		sites[i] = &siteAlloc{}
+		stats[i] = runFunc(prog.Funcs[i], opts, sites[i])
+		return nil
+	})
+	// Renumber the sites allocated during code motion in program order:
+	// a serial run hands ids to function i's new check loads before
+	// function i+1 runs, and within one function allocation order is
+	// deterministic, so this reproduces the serial numbering exactly.
+	// Ids for placeholders that a later round zeroed (the reload was
+	// rewritten away) are still consumed, as they were serially.
+	for _, sa := range sites {
+		for _, a := range sa.assigns {
+			id := prog.NextSite()
+			if a.Site < 0 {
+				a.Site = id
+			}
+		}
+	}
+	res := make(map[string]*Stats, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		res[fn.Name] = stats[i]
 	}
 	return res
 }
 
-func runFunc(fn *ir.Func, opts Options) *Stats {
+// siteAlloc hands out per-function placeholder reference-site ids (negative,
+// so they can never collide with real ids) and records the receiving
+// statements in allocation order for the post-parallel renumbering.
+type siteAlloc struct {
+	assigns []*ir.Assign
+}
+
+func (sa *siteAlloc) alloc(a *ir.Assign) {
+	sa.assigns = append(sa.assigns, a)
+	a.Site = -len(sa.assigns)
+}
+
+func runFunc(fn *ir.Func, opts Options, sites *siteAlloc) *Stats {
 	stats := &Stats{}
 	var virtuals []*ir.Sym
 	if opts.Alias != nil {
@@ -50,6 +91,7 @@ func runFunc(fn *ir.Func, opts Options) *Stats {
 			w := newWeb(ssa, ec, opts, copies)
 			w.preTemps = preTemps
 			w.checkedTemps = checkedTemps
+			w.sites = sites
 			w.phiInsertion()
 			w.rename()
 			w.downSafety()

@@ -16,7 +16,9 @@
 package repro
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"sync"
 
 	"repro/internal/alias"
 	"repro/internal/codegen"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/source"
 	"repro/internal/ssapre"
@@ -107,6 +110,12 @@ type Config struct {
 	// promotion" upper bound. Implies data speculation with empty
 	// profiles.
 	AggressivePromotion bool
+	// Workers bounds the per-function parallelism of the pipeline
+	// (alias refinement/annotation, SSAPRE, IR verification, scheduling
+	// and code generation). 0 uses one worker per core; 1 reproduces the
+	// fully serial pipeline bit-for-bit and is the determinism oracle
+	// the parallel paths are tested against.
+	Workers int
 }
 
 // Compilation is a compiled program plus everything the experiments need.
@@ -121,33 +130,72 @@ type Compilation struct {
 	Alias   *alias.Result
 }
 
-// frontend parses + lowers a fresh IR from source.
+// The compilation cache: one pristine lowered program per source hash.
+// Compile, CollectProfile, Reference and ReuseLimit all start from the
+// same parse, and an experiment sweep re-compiles each workload under
+// many config variants, so N variants pay for one parse instead of 2N
+// frontend runs. Masters in the cache are never mutated — every caller
+// receives a deep ir.Clone — which is what makes sharing across
+// concurrent compiles sound.
+const frontendCacheCap = 256
+
+var (
+	frontendMu    sync.Mutex
+	frontendCache = map[[sha256.Size]byte]*ir.Program{}
+)
+
+// frontend parses + lowers IR from source, memoized by source hash; the
+// caller owns the returned clone outright.
 func frontend(src string) (*ir.Program, error) {
+	key := sha256.Sum256([]byte(src))
+	frontendMu.Lock()
+	master, ok := frontendCache[key]
+	frontendMu.Unlock()
+	if ok {
+		return ir.Clone(master), nil
+	}
 	f, err := source.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return source.Lower(f)
+	prog, err := source.Lower(f)
+	if err != nil {
+		return nil, err
+	}
+	frontendMu.Lock()
+	if len(frontendCache) >= frontendCacheCap {
+		frontendCache = map[[sha256.Size]byte]*ir.Program{}
+	}
+	frontendCache[key] = prog
+	frontendMu.Unlock()
+	return ir.Clone(prog), nil
+}
+
+// ResetFrontendCache drops every memoized parse. Benchmarks use it to
+// measure cold-compile throughput; production callers never need it.
+func ResetFrontendCache() {
+	frontendMu.Lock()
+	frontendCache = map[[sha256.Size]byte]*ir.Program{}
+	frontendMu.Unlock()
 }
 
 // Compile runs the full pipeline on MiniC source.
 func Compile(src string, cfg Config) (*Compilation, error) {
+	// one frontend run (or cache hit) feeds both programs: the reference
+	// IR stays pristine and the optimizer works on a detached clone
 	ref, err := frontend(src)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := frontend(src)
-	if err != nil {
-		return nil, err
-	}
+	prog := ir.Clone(ref)
 	c := &Compilation{Config: cfg, Source: src, Prog: prog, Ref: ref}
 
 	if !cfg.OptimizeOff {
 		// flow-sensitive refinement (paper Fig. 4): devirtualize
 		// references whose address resolves to a single variable
-		alias.Refine(prog)
+		alias.RefineWorkers(prog, cfg.Workers)
 		ar := alias.Analyze(prog, alias.Options{TypeBased: !cfg.NoTypeBasedAA})
-		ar.Annotate(prog)
+		ar.AnnotateWorkers(prog, cfg.Workers)
 		c.Alias = ar
 
 		var prof *profile.Profile
@@ -190,18 +238,22 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 			Alias:       ar,
 			NoArith:     cfg.NoArith,
 			NoStrength:  cfg.NoStrength,
+			Workers:     cfg.Workers,
 		})
-		for _, fn := range prog.Funcs {
-			if err := ir.Verify(fn); err != nil {
-				return nil, fmt.Errorf("repro: optimizer produced invalid IR: %w", err)
+		if err := par.Each(cfg.Workers, len(prog.Funcs), func(i int) error {
+			if err := ir.Verify(prog.Funcs[i]); err != nil {
+				return fmt.Errorf("repro: optimizer produced invalid IR: %w", err)
 			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 
 	if cfg.Schedule {
-		codegen.Schedule(prog)
+		codegen.ScheduleWorkers(prog, cfg.Workers)
 	}
-	code, err := codegen.Lower(prog)
+	code, err := codegen.LowerWorkers(prog, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
