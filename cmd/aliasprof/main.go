@@ -3,9 +3,14 @@
 // the side-effect sets per call site, and the hottest blocks — the
 // information §3.2.1 of the paper feeds back into the compiler.
 //
+// Profiling goes through the compilation cache: with -cache-dir a
+// repeated invocation on the same source and inputs (or a later
+// `experiments -cache-dir` sweep) reuses the persisted profile instead
+// of re-interpreting the program.
+//
 // Usage:
 //
-//	aliasprof [-args 1,2,3] file.mc
+//	aliasprof [-args 1,2,3] [-o prof.json] [-cache-dir DIR] file.mc
 package main
 
 import (
@@ -16,7 +21,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/interp"
+	"repro"
+	"repro/internal/alias"
 	"repro/internal/ir"
 	"repro/internal/profile"
 	"repro/internal/source"
@@ -25,6 +31,7 @@ import (
 func main() {
 	progArgs := flag.String("args", "", "comma-separated program input (arg(i) values)")
 	outFile := flag.String("o", "", "write the serialized profile (JSON) to this file")
+	cacheDir := flag.String("cache-dir", "", "reuse/persist profiles under this directory across runs")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: aliasprof [-args ...] file.mc")
@@ -35,6 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aliasprof:", err)
 		os.Exit(1)
 	}
+	src := string(srcBytes)
 	var args []int64
 	if *progArgs != "" {
 		for _, part := range strings.Split(*progArgs, ",") {
@@ -46,8 +54,30 @@ func main() {
 			args = append(args, v)
 		}
 	}
+	if *cacheDir != "" {
+		if err := repro.SetCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "aliasprof:", err)
+			os.Exit(1)
+		}
+	}
 
-	file, err := source.Parse(string(srcBytes))
+	// the canonical cached profiling computation — identical site ids to
+	// what Compile consumes via Config.ProfileJSON
+	data, err := repro.CollectProfile(src, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aliasprof: run:", err)
+		os.Exit(1)
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "aliasprof:", err)
+			os.Exit(1)
+		}
+	}
+
+	// rebuild the refined program the profile was collected on, to
+	// resolve site ids and block names for printing
+	file, err := source.Parse(src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aliasprof:", err)
 		os.Exit(1)
@@ -57,24 +87,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aliasprof:", err)
 		os.Exit(1)
 	}
-	prof := profile.New()
-	if _, err := interp.Run(prog, interp.Options{
-		CollectEdges: true, CollectAlias: true, Profile: prof, Args: args,
-	}); err != nil {
-		fmt.Fprintln(os.Stderr, "aliasprof: run:", err)
+	alias.Refine(prog)
+	prof, err := profile.Unmarshal(prog, data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aliasprof:", err)
 		os.Exit(1)
-	}
-
-	if *outFile != "" {
-		data, err := profile.Marshal(prog, prof)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "aliasprof:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "aliasprof:", err)
-			os.Exit(1)
-		}
 	}
 
 	keys := ir.SiteSyntaxKeys(prog)
@@ -112,7 +129,15 @@ func main() {
 			}
 		}
 	}
-	sort.Slice(hots, func(i, j int) bool { return hots[i].count > hots[j].count })
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].count != hots[j].count {
+			return hots[i].count > hots[j].count
+		}
+		if hots[i].fn != hots[j].fn {
+			return hots[i].fn < hots[j].fn
+		}
+		return hots[i].id < hots[j].id
+	})
 	fmt.Println("hottest blocks:")
 	for i, h := range hots {
 		if i >= 10 {

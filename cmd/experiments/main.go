@@ -6,6 +6,12 @@
 //
 //	experiments                 # everything
 //	experiments -exp fig10      # one table: smvp|fig10|fig11|fig12|heur|ablation
+//	experiments -cache-dir DIR  # persist profiles; warm runs skip profiling
+//	experiments -workers 1      # serial oracle (output is identical)
+//
+// The report bytes are identical at any -workers value and with the
+// cache cold, warm, or absent; -cache-stats prints the cache counters to
+// stderr so observability never perturbs the report itself.
 package main
 
 import (
@@ -15,27 +21,36 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
-	"repro/internal/machine"
 	"repro/internal/workloads"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation")
+	workers := flag.Int("workers", 0, "max concurrent compilations (0 = all cores, 1 = serial oracle)")
+	cacheDir := flag.String("cache-dir", "", "persist profiles/compilation artifacts under this directory across runs")
+	cacheStats := flag.Bool("cache-stats", false, "print compilation-cache hit/miss counters to stderr when done")
 	flag.Parse()
+
+	if *cacheDir != "" {
+		if err := repro.SetCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 
 	var err error
 	switch *exp {
 	case "all":
-		err = experiments.Report(os.Stdout)
+		err = experiments.ReportWorkers(os.Stdout, *workers)
 	case "smvp":
 		var s experiments.Smvp
-		s, err = experiments.RunSmvp()
+		s, err = experiments.RunSmvpWorkers(*workers)
 		if err == nil {
 			experiments.PrintSmvp(os.Stdout, s)
 		}
 	case "fig10", "fig11", "fig12", "heur":
 		var rows []experiments.Row
-		rows, err = experiments.RunAll()
+		rows, err = experiments.RunAllWorkers(*workers)
 		if err == nil {
 			switch *exp {
 			case "fig10":
@@ -50,15 +65,18 @@ func main() {
 		}
 	case "sensitivity":
 		var rows []experiments.Sensitivity
-		rows, err = experiments.RunSensitivity()
+		rows, err = experiments.RunSensitivityWorkers(*workers)
 		if err == nil {
 			experiments.PrintSensitivity(os.Stdout, rows)
 		}
 	case "ablation":
-		err = ablation(os.Stdout)
+		err = ablation(os.Stdout, *workers)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *cacheStats {
+		fmt.Fprintln(os.Stderr, "cache:", repro.CacheStats(), "| profiling runs:", repro.ProfilingRuns())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -66,10 +84,24 @@ func main() {
 	}
 }
 
+// compile wraps repro.Compile and refuses a compilation whose training
+// run faulted (the silent StaticEstimate fallback would skew the
+// ablation numbers).
+func compile(src string, cfg repro.Config) (*repro.Compilation, error) {
+	c, err := repro.Compile(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.ProfileErr != nil {
+		return nil, c.ProfileErr
+	}
+	return c, nil
+}
+
 // ablation sweeps the design choices DESIGN.md calls out on equake and
 // mcf: data speculation off, control speculation off, arithmetic PRE off
 // (promotion only), and ALAT capacity.
-func ablation(out *os.File) error {
+func ablation(out *os.File, workers int) error {
 	kernels := []string{"equake", "mcf"}
 	type cfgCase struct {
 		name string
@@ -90,7 +122,8 @@ func ablation(out *os.File) error {
 		}
 		for _, c := range cases {
 			c.cfg.ProfileArgs = w.ProfileArgs
-			comp, err := repro.Compile(w.Src, c.cfg)
+			c.cfg.Workers = workers
+			comp, err := compile(w.Src, c.cfg)
 			if err != nil {
 				return err
 			}
@@ -105,10 +138,9 @@ func ablation(out *os.File) error {
 		}
 		// ALAT capacity sweep
 		for _, size := range []int{4, 8, 32, 128} {
-			cfg := repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs}
-			cfg.Machine = machine.Defaults()
+			cfg := repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs, Workers: workers}
 			cfg.Machine.ALATSize = size
-			comp, err := repro.Compile(w.Src, cfg)
+			comp, err := compile(w.Src, cfg)
 			if err != nil {
 				return err
 			}

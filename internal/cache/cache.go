@@ -1,0 +1,338 @@
+// Package cache is the two-tier content-addressed cache behind the
+// compilation pipeline's reuse: an in-memory memoization tier (frontend
+// IR masters, serialized profiles) and an optional persistent on-disk
+// tier (serialized profiles), so a sweep's config variants share one
+// profiling interpreter run and a warm-started process skips profiling
+// entirely.
+//
+// Keys are sha256 digests over length-prefixed byte parts (KeyOf), so a
+// key commits to the full content that produced the value — source
+// text, option string, training arguments — never to a name. Both tiers
+// follow the same contract:
+//
+//   - a lookup either returns the memoized value or runs the caller's
+//     compute function exactly once per key, even under concurrency
+//     (misses are single-flighted: concurrent callers of the same key
+//     block on one computation instead of duplicating it);
+//   - on-disk entries live under a versioned subdirectory and carry a
+//     checksum header; a truncated, garbled, or stale entry is
+//     discarded and recomputed — corruption is never an error;
+//   - hit/miss/compute/evict counters are exported (Stats) so tests
+//     and tools can assert reuse instead of trusting it.
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Version stamps the on-disk layout. Entries are stored under a
+// "v<Version>" subdirectory of the configured cache dir, so a layout or
+// semantics change invalidates every old entry by construction instead
+// of by deletion.
+const Version = 1
+
+// Key is a content-addressed cache key.
+type Key [sha256.Size]byte
+
+// KeyOf digests the parts into a Key. Each part is length-prefixed
+// before hashing, so ("ab","c") and ("a","bc") produce distinct keys.
+func KeyOf(parts ...[]byte) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// Stats are the cache's cumulative counters. Snapshot them before and
+// after an operation and compare deltas; they are never reset.
+type Stats struct {
+	MemHits    uint64 // lookups served by the in-memory tier
+	MemMisses  uint64 // lookups that missed the in-memory tier
+	DiskHits   uint64 // memory misses served by the on-disk tier
+	DiskMisses uint64 // on-disk lookups that found no (valid) entry
+	Computes   uint64 // compute functions actually run
+	Evictions  uint64 // in-memory entries dropped for capacity
+	Corrupt    uint64 // on-disk entries discarded as corrupt/stale
+}
+
+// entry is one memoized result. ready is closed when the result fields
+// are final; late arrivals at the same key wait on it (singleflight).
+type entry struct {
+	ready chan struct{}
+	data  []byte
+	obj   any
+	err   error
+}
+
+func (e *entry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cache is a two-tier content-addressed cache, safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	disabled bool
+	dir      string // "" = memory only
+	mem      map[Key]*entry
+	order    []Key // insertion order, for FIFO eviction
+	stats    Stats
+}
+
+// New returns a memory-only cache holding at most capacity entries
+// (<= 0 means unbounded).
+func New(capacity int) *Cache {
+	return &Cache{capacity: capacity, mem: map[Key]*entry{}}
+}
+
+// SetDir enables the on-disk tier under dir (creating its versioned
+// subdirectory), or disables it when dir is empty. Byte entries are
+// persisted there and survive the process.
+func (c *Cache) SetDir(dir string) error {
+	if dir == "" {
+		c.mu.Lock()
+		c.dir = ""
+		c.mu.Unlock()
+		return nil
+	}
+	vdir := filepath.Join(dir, fmt.Sprintf("v%d", Version))
+	if err := os.MkdirAll(vdir, 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	c.mu.Lock()
+	c.dir = vdir
+	c.mu.Unlock()
+	return nil
+}
+
+// Dir reports the active versioned on-disk directory ("" when the disk
+// tier is off).
+func (c *Cache) Dir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir
+}
+
+// SetEnabled turns memoization on or off. While disabled every lookup
+// runs its compute function; nothing is stored or read, in memory or on
+// disk. The oracle mode for "byte-identical with the cache off" tests.
+func (c *Cache) SetEnabled(on bool) {
+	c.mu.Lock()
+	c.disabled = !on
+	c.mu.Unlock()
+}
+
+// Reset drops the whole in-memory tier (the on-disk tier, being
+// persistent by design, stays). Counters are cumulative and unaffected.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.mem = map[Key]*entry{}
+	c.order = nil
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// lookupOrClaim returns the entry for key and whether the caller owns
+// its computation. Non-owners must wait on entry.ready.
+func (c *Cache) lookupOrClaim(key Key) (e *entry, owner bool, dir string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.mem[key]; ok {
+		c.stats.MemHits++
+		return e, false, c.dir
+	}
+	c.stats.MemMisses++
+	c.evictLocked()
+	e = &entry{ready: make(chan struct{})}
+	c.mem[key] = e
+	c.order = append(c.order, key)
+	return e, true, c.dir
+}
+
+// evictLocked makes room for one insertion, FIFO over completed
+// entries; in-flight entries are never evicted (their waiters hold the
+// pointer, and dropping them would duplicate the computation).
+func (c *Cache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for len(c.mem) >= c.capacity && len(c.order) > 0 {
+		evicted := false
+		for i, k := range c.order {
+			e, ok := c.mem[k]
+			if ok && !e.done() {
+				continue
+			}
+			c.order = append(c.order[:i:i], c.order[i+1:]...)
+			if ok {
+				delete(c.mem, k)
+				c.stats.Evictions++
+				evicted = true
+			}
+			break
+		}
+		if !evicted {
+			return // everything resident is in flight
+		}
+	}
+}
+
+func (c *Cache) isDisabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disabled
+}
+
+func (c *Cache) countCompute() {
+	c.mu.Lock()
+	c.stats.Computes++
+	c.mu.Unlock()
+}
+
+// GetBytes returns the byte value for key, computing it at most once
+// per key per process and, when the disk tier is on, at most once per
+// key per cache directory. Errors are memoized in memory (the pipeline
+// computations are deterministic) but never persisted. Callers must not
+// mutate the returned slice.
+func (c *Cache) GetBytes(key Key, compute func() ([]byte, error)) ([]byte, error) {
+	if c.isDisabled() {
+		c.countCompute()
+		return compute()
+	}
+	e, owner, dir := c.lookupOrClaim(key)
+	if !owner {
+		<-e.ready
+		return e.data, e.err
+	}
+	defer close(e.ready)
+	if dir != "" {
+		if data, ok := c.diskLoad(dir, key); ok {
+			e.data = data
+			return data, nil
+		}
+	}
+	c.countCompute()
+	e.data, e.err = compute()
+	if e.err == nil && dir != "" {
+		c.diskStore(dir, key, e.data)
+	}
+	return e.data, e.err
+}
+
+// GetObject is the memory-only variant of GetBytes for values that are
+// not serialized (frontend IR masters). The returned object is shared —
+// callers must treat it as immutable (clone before mutating).
+func (c *Cache) GetObject(key Key, compute func() (any, error)) (any, error) {
+	if c.isDisabled() {
+		c.countCompute()
+		return compute()
+	}
+	e, owner, _ := c.lookupOrClaim(key)
+	if !owner {
+		<-e.ready
+		return e.obj, e.err
+	}
+	defer close(e.ready)
+	c.countCompute()
+	e.obj, e.err = compute()
+	return e.obj, e.err
+}
+
+// The on-disk entry format: one header line
+//
+//	reprocache v<Version> <64-hex sha256 of payload>\n
+//
+// followed by the raw payload. The checksum makes truncation and bit
+// rot detectable; the version (in both the directory name and the
+// header) makes staleness detectable.
+
+func (c *Cache) diskPath(dir string, key Key) string {
+	return filepath.Join(dir, hex.EncodeToString(key[:])+".cache")
+}
+
+// diskLoad reads and verifies the entry for key. Any failure — missing
+// file, malformed header, checksum mismatch — is a miss; a present but
+// invalid file is deleted and counted as corrupt.
+func (c *Cache) diskLoad(dir string, key Key) ([]byte, bool) {
+	path := c.diskPath(dir, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.DiskMisses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	payload, ok := verifyEntry(raw)
+	c.mu.Lock()
+	if ok {
+		c.stats.DiskHits++
+	} else {
+		c.stats.DiskMisses++
+		c.stats.Corrupt++
+	}
+	c.mu.Unlock()
+	if !ok {
+		os.Remove(path)
+		return nil, false
+	}
+	return payload, true
+}
+
+func verifyEntry(raw []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	header, payload := string(raw[:nl]), raw[nl+1:]
+	want := fmt.Sprintf("reprocache v%d %x", Version, sha256.Sum256(payload))
+	if header != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// diskStore persists an entry, best-effort: a full disk or unwritable
+// directory degrades to memory-only caching, never to an error. The
+// write goes through a temp file + rename so a concurrent process (or a
+// crash) can never observe a half-written entry.
+func (c *Cache) diskStore(dir string, key Key, payload []byte) {
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	header := fmt.Sprintf("reprocache v%d %x\n", Version, sha256.Sum256(payload))
+	_, werr := tmp.WriteString(header)
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	cerr := tmp.Close()
+	if werr == nil && cerr == nil && os.Rename(name, c.diskPath(dir, key)) == nil {
+		return
+	}
+	os.Remove(name)
+}

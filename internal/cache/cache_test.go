@@ -1,0 +1,310 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func keyN(n int) Key { return KeyOf([]byte(fmt.Sprintf("key-%d", n))) }
+
+func TestKeyOfLengthPrefixed(t *testing.T) {
+	if KeyOf([]byte("ab"), []byte("c")) == KeyOf([]byte("a"), []byte("bc")) {
+		t.Fatal("KeyOf must distinguish part boundaries")
+	}
+	if KeyOf([]byte("a")) == KeyOf([]byte("a"), nil) {
+		t.Fatal("KeyOf must distinguish part counts")
+	}
+	if KeyOf([]byte("a")) != KeyOf([]byte("a")) {
+		t.Fatal("KeyOf must be deterministic")
+	}
+}
+
+func TestMemoizeBytes(t *testing.T) {
+	c := New(0)
+	computes := 0
+	get := func() ([]byte, error) {
+		return c.GetBytes(keyN(1), func() ([]byte, error) {
+			computes++
+			return []byte("value"), nil
+		})
+	}
+	for i := 0; i < 3; i++ {
+		v, err := get()
+		if err != nil || string(v) != "value" {
+			t.Fatalf("get %d: %q, %v", i, v, err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	s := c.Stats()
+	if s.MemHits != 2 || s.MemMisses != 1 || s.Computes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestErrorsMemoized(t *testing.T) {
+	c := New(0)
+	computes := 0
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		_, err := c.GetBytes(keyN(1), func() ([]byte, error) {
+			computes++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1 (deterministic failures are memoized)", computes)
+	}
+}
+
+// TestSingleflight pins that concurrent misses at one key share a single
+// computation instead of duplicating the work.
+func TestSingleflight(t *testing.T) {
+	c := New(0)
+	release := make(chan struct{})
+	var computes int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetBytes(keyN(7), func() ([]byte, error) {
+				computes++ // safe: only one goroutine may get here
+				<-release
+				return []byte("shared"), nil
+			})
+			if err != nil || string(v) != "shared" {
+				t.Errorf("got %q, %v", v, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+}
+
+func TestEvictionFIFO(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 3; i++ {
+		c.GetBytes(keyN(i), func() ([]byte, error) { return []byte{byte(i)}, nil })
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	// key 0 was evicted: a re-get recomputes
+	recomputed := false
+	c.GetBytes(keyN(0), func() ([]byte, error) { recomputed = true; return nil, nil })
+	if !recomputed {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	// key 2 survived
+	c.GetBytes(keyN(2), func() ([]byte, error) {
+		t.Fatal("newest entry should still be resident")
+		return nil, nil
+	})
+}
+
+func TestDiskWarmStartAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1 := New(0)
+	if err := c1.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c1.GetBytes(keyN(1), func() ([]byte, error) { return []byte("persisted"), nil })
+	if err != nil || string(v) != "persisted" {
+		t.Fatalf("store: %q, %v", v, err)
+	}
+
+	// a fresh instance on the same dir models a new process
+	c2 := New(0)
+	if err := c2.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	v, err = c2.GetBytes(keyN(1), func() ([]byte, error) {
+		t.Fatal("warm start must not recompute")
+		return nil, nil
+	})
+	if err != nil || string(v) != "persisted" {
+		t.Fatalf("load: %q, %v", v, err)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.Computes != 0 {
+		t.Fatalf("stats = %+v, want 1 disk hit, 0 computes", s)
+	}
+}
+
+func TestCorruptEntriesRecomputed(t *testing.T) {
+	payload := []byte(`{"version":1,"blocks":{"main:B0":1}}`)
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":       func(b []byte) []byte { return b[:len(b)/2] },
+		"garbage":         func([]byte) []byte { return []byte("not a cache entry at all") },
+		"flipped payload": func(b []byte) []byte { x := bytes.Clone(b); x[len(x)-2] ^= 0xff; return x },
+		"empty":           func([]byte) []byte { return nil },
+		"stale version":   func(b []byte) []byte { return bytes.Replace(b, []byte("reprocache v"), []byte("reprocache v9"), 1) },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c1 := New(0)
+			if err := c1.SetDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c1.GetBytes(keyN(1), func() ([]byte, error) { return payload, nil }); err != nil {
+				t.Fatal(err)
+			}
+			path := c1.diskPath(c1.Dir(), keyN(1))
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			c2 := New(0)
+			if err := c2.SetDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			recomputed := false
+			v, err := c2.GetBytes(keyN(1), func() ([]byte, error) { recomputed = true; return payload, nil })
+			if err != nil {
+				t.Fatalf("corruption must never surface as an error: %v", err)
+			}
+			if !recomputed || !bytes.Equal(v, payload) {
+				t.Fatalf("recomputed=%v v=%q", recomputed, v)
+			}
+			if s := c2.Stats(); s.Corrupt != 1 {
+				t.Fatalf("stats = %+v, want Corrupt=1", s)
+			}
+			// the recomputed value was re-persisted and is valid again
+			c3 := New(0)
+			if err := c3.SetDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c3.GetBytes(keyN(1), func() ([]byte, error) {
+				t.Fatal("repaired entry should load from disk")
+				return nil, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDisabledBypassesAllTiers(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.SetEnabled(false)
+	computes := 0
+	for i := 0; i < 2; i++ {
+		c.GetBytes(keyN(1), func() ([]byte, error) { computes++; return []byte("x"), nil })
+	}
+	if computes != 2 {
+		t.Fatalf("computes = %d, want 2 while disabled", computes)
+	}
+	files, _ := filepath.Glob(filepath.Join(c.Dir(), "*.cache"))
+	if len(files) != 0 {
+		t.Fatalf("disabled cache wrote %d files", len(files))
+	}
+	c.SetEnabled(true)
+	c.GetBytes(keyN(1), func() ([]byte, error) { computes++; return []byte("x"), nil })
+	c.GetBytes(keyN(1), func() ([]byte, error) { computes++; return []byte("x"), nil })
+	if computes != 3 {
+		t.Fatalf("computes = %d, want 3 after re-enable", computes)
+	}
+}
+
+func TestObjectTierIsMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	type big struct{ n int }
+	v, err := c.GetObject(keyN(3), func() (any, error) { return &big{42}, nil })
+	if err != nil || v.(*big).n != 42 {
+		t.Fatalf("%v, %v", v, err)
+	}
+	files, _ := filepath.Glob(filepath.Join(c.Dir(), "*.cache"))
+	if len(files) != 0 {
+		t.Fatalf("object entries must not be persisted, found %d files", len(files))
+	}
+	v2, _ := c.GetObject(keyN(3), func() (any, error) {
+		t.Fatal("must be memoized")
+		return nil, nil
+	})
+	if v2 != v {
+		t.Fatal("object identity must be stable across hits")
+	}
+}
+
+func TestResetDropsMemoryKeepsDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.GetBytes(keyN(1), func() ([]byte, error) { return []byte("v"), nil })
+	c.Reset()
+	v, err := c.GetBytes(keyN(1), func() ([]byte, error) {
+		t.Fatal("reset must not clear the persistent tier")
+		return nil, nil
+	})
+	if err != nil || string(v) != "v" {
+		t.Fatalf("%q, %v", v, err)
+	}
+	if s := c.Stats(); s.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want a disk hit after reset", s)
+	}
+}
+
+// TestConcurrentMixed drives many goroutines across overlapping keys
+// with the disk tier on; run under -race this is the cache's
+// thread-safety gate.
+func TestConcurrentMixed(t *testing.T) {
+	dir := t.TempDir()
+	c := New(16)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := i % 8
+				want := fmt.Sprintf("v%d", k)
+				v, err := c.GetBytes(keyN(k), func() ([]byte, error) {
+					return []byte(fmt.Sprintf("v%d", k)), nil
+				})
+				if err != nil || string(v) != want {
+					t.Errorf("g%d i%d: %q, %v", g, i, v, err)
+					return
+				}
+				if g%4 == 0 && i%25 == 24 {
+					c.Reset()
+				}
+				if _, err := c.GetObject(keyN(100+k), func() (any, error) { return k, nil }); err != nil {
+					t.Errorf("object: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

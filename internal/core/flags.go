@@ -67,9 +67,17 @@ func AssignFlags(prog *ir.Program, ar *alias.Result, prof *profile.Profile, mode
 					// heuristic rule 3: call side effects are always
 					// highly likely (mu list remains unflagged)
 					if mode == ModeProfile {
-						flagChis(f, t.Chis, prof.CallMod[t.Site], ar, mode, true)
-						t.Chis = addMissingChis(f, t.Chis, prof.CallMod[t.Site], ar)
-						flagMus(f, t.Mus, prof.CallRef[t.Site], ar, mode, true)
+						// a nil profile (failed training run, or the
+						// aggressive-promotion bound) means no call-site
+						// LOC was ever observed: every side effect stays
+						// a weak, speculatively ignorable update
+						var mod, ref profile.LocSet
+						if prof != nil {
+							mod, ref = prof.CallMod[t.Site], prof.CallRef[t.Site]
+						}
+						flagChis(f, t.Chis, mod, ar, mode, true)
+						t.Chis = addMissingChis(f, t.Chis, mod, ar)
+						flagMus(f, t.Mus, ref, ar, mode, true)
 					} else {
 						for _, chi := range t.Chis {
 							chi.Spec = true

@@ -26,6 +26,28 @@ import (
 	"repro/internal/workloads"
 )
 
+// plainLoads is the load count the paper's tables are built on: loads
+// retired minus check loads (ld.c/ldf.c are accounted separately in
+// Fig. 11). Every metric that compares load counts across builds must
+// use it, or a speculative build's checks would be double counted.
+func plainLoads(r *machine.Result) int64 {
+	return r.Counters.LoadsRetired - r.Counters.CheckLoads
+}
+
+// compile wraps repro.Compile and fails loudly when the training run
+// faulted: a silent StaticEstimate fallback would skew every
+// profile-guided number in the tables while looking plausible.
+func compile(src string, cfg repro.Config) (*repro.Compilation, error) {
+	c, err := repro.Compile(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.ProfileErr != nil {
+		return nil, c.ProfileErr
+	}
+	return c, nil
+}
+
 // Row is one benchmark's measurements for the Fig. 10/11 tables.
 type Row struct {
 	Name string
@@ -159,7 +181,7 @@ func RunOneWorkers(w workloads.Workload, workers int) (Row, error) {
 		cfg := variants[i]
 		cfg.ProfileArgs = w.ProfileArgs
 		cfg.Workers = workers
-		c, err := repro.Compile(w.Src, cfg)
+		c, err := compile(w.Src, cfg)
 		if err != nil {
 			return err
 		}
@@ -179,7 +201,6 @@ func RunOneWorkers(w workloads.Workload, workers int) (Row, error) {
 			return row, fmt.Errorf("output mismatch between variants: %q vs %q", r.Output, base.Output)
 		}
 	}
-	plainLoads := func(r *machine.Result) int64 { return r.Counters.LoadsRetired - r.Counters.CheckLoads }
 	row.BaseLoads, row.BaseCycles, row.BaseData = plainLoads(base), base.Counters.Cycles, base.Counters.DataAccessCycles
 	row.SpecLoads, row.SpecCycles, row.SpecData = plainLoads(spec), spec.Counters.Cycles, spec.Counters.DataAccessCycles
 	row.Checks = spec.Counters.CheckLoads
@@ -207,37 +228,46 @@ type Smvp struct {
 // AggressivePromotion and zero-cost checks — the paper's hand-allocated
 // registers).
 func RunSmvp() (Smvp, error) {
-	w, _ := workloads.ByName("equake")
-	base, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecOff, ProfileArgs: w.ProfileArgs})
+	return RunSmvpWorkers(0)
+}
+
+// RunSmvpWorkers runs the §5.1 case study with at most workers variants
+// compiling concurrently; the bound is threaded into each compilation.
+func RunSmvpWorkers(workers int) (Smvp, error) {
+	w, ok := workloads.ByName("equake")
+	if !ok {
+		return Smvp{}, fmt.Errorf("experiments: smvp case study: workload %q is not registered", "equake")
+	}
+	manualCfg := repro.Config{AggressivePromotion: true}
+	// hand-allocated registers: no check instructions at all — run the
+	// aggressive build with zero-cost checks
+	manualCfg.Machine.CheckHitLat = machine.Free
+	manualCfg.Machine.CheckMissPen = machine.Free
+	variants := []repro.Config{
+		{Spec: repro.SpecOff},
+		{Spec: repro.SpecProfile},
+		manualCfg,
+	}
+	results := make([]*machine.Result, len(variants))
+	err := par.Each(workers, len(variants), func(i int) error {
+		cfg := variants[i]
+		cfg.ProfileArgs = w.ProfileArgs
+		cfg.Workers = workers
+		c, err := compile(w.Src, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := c.Run(w.RefArgs)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return Smvp{}, err
 	}
-	spec, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs})
-	if err != nil {
-		return Smvp{}, err
-	}
-	manualCfg := repro.Config{AggressivePromotion: true, ProfileArgs: w.ProfileArgs}
-	manualCfg.Machine = machine.Defaults()
-	manualCfg.Machine.CheckHitLat = 0 // hand-allocated registers: no check instructions at all
-	manualCfg.Machine.CheckMissPen = 0
-	manual, err := repro.Compile(w.Src, manualCfg)
-	if err != nil {
-		return Smvp{}, err
-	}
-	rb, err := base.Run(w.RefArgs)
-	if err != nil {
-		return Smvp{}, err
-	}
-	rs, err := spec.Run(w.RefArgs)
-	if err != nil {
-		return Smvp{}, err
-	}
-	// the "manually tuned" bound: no checks at all — run the aggressive
-	// build and drop check costs entirely by removing their cycles
-	rm, err := manual.Run(w.RefArgs)
-	if err != nil {
-		return Smvp{}, err
-	}
+	rb, rs, rm := results[0], results[1], results[2]
 	var s Smvp
 	if rs.Counters.LoadsRetired > 0 {
 		s.ChecksPerLoad = float64(rs.Counters.CheckLoads) / float64(rs.Counters.LoadsRetired)
@@ -300,13 +330,20 @@ func PrintSmvp(w io.Writer, s Smvp) {
 
 // Report runs everything and renders all tables.
 func Report(w io.Writer) error {
-	s, err := RunSmvp()
+	return ReportWorkers(w, 0)
+}
+
+// ReportWorkers renders the full report with the given worker bound
+// threaded through every study; the rendered bytes are identical at any
+// worker count and with the compilation cache cold, warm, or disabled.
+func ReportWorkers(w io.Writer, workers int) error {
+	s, err := RunSmvpWorkers(workers)
 	if err != nil {
 		return err
 	}
 	PrintSmvp(w, s)
 	fmt.Fprintln(w)
-	rows, err := RunAll()
+	rows, err := RunAllWorkers(workers)
 	if err != nil {
 		return err
 	}
@@ -318,7 +355,7 @@ func Report(w io.Writer) error {
 	fmt.Fprintln(w)
 	PrintHeuristic(w, rows)
 	fmt.Fprintln(w)
-	sens, err := RunSensitivity()
+	sens, err := RunSensitivityWorkers(workers)
 	if err != nil {
 		return err
 	}
@@ -357,47 +394,78 @@ type Sensitivity struct {
 // have input-dependent aliasing (gzip and mcf carry rare aliasing stores
 // that small training inputs never execute).
 func RunSensitivity() ([]Sensitivity, error) {
-	var rows []Sensitivity
-	for _, name := range []string{"gzip", "mcf", "equake"} {
-		w, ok := workloads.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %s", name)
-		}
-		base, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecOff, ProfileArgs: w.ProfileArgs})
+	return RunSensitivityWorkers(0)
+}
+
+// RunSensitivityWorkers runs the sensitivity study with at most workers
+// kernels (and, within each kernel, compilations) in flight; the bound
+// is threaded into every compilation, so workers=1 is the serial oracle.
+func RunSensitivityWorkers(workers int) ([]Sensitivity, error) {
+	names := []string{"gzip", "mcf", "equake"}
+	rows := make([]Sensitivity, len(names))
+	err := par.Each(workers, len(names), func(i int) error {
+		row, err := sensitivityRow(names[i], workers)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s: %w", names[i], err)
 		}
-		rb, err := base.Run(w.RefArgs)
-		if err != nil {
-			return nil, err
-		}
-		row := Sensitivity{Name: name, OutputsCorrect: true}
-		for i, train := range [][]int64{w.ProfileArgs, w.RefArgs} {
-			c, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: train})
-			if err != nil {
-				return nil, err
-			}
-			res, err := c.Run(w.RefArgs)
-			if err != nil {
-				return nil, err
-			}
-			if res.Output != rb.Output {
-				row.OutputsCorrect = false
-			}
-			red := 1 - float64(res.Counters.LoadsRetired-res.Counters.CheckLoads)/float64(rb.Counters.LoadsRetired)
-			if i == 0 {
-				row.MismatchChecks = res.Counters.CheckLoads
-				row.MismatchFailed = res.Counters.FailedChecks
-				row.MismatchLoadReduction = red
-			} else {
-				row.MatchedChecks = res.Counters.CheckLoads
-				row.MatchedFailed = res.Counters.FailedChecks
-				row.MatchedLoadReduction = red
-			}
-		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// sensitivityRow measures one kernel: the base build plus a build
+// trained on the training input (mismatched) and one trained on the
+// reference input (matched). The three compilations are independent and
+// fan out under the same worker bound.
+func sensitivityRow(name string, workers int) (Sensitivity, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return Sensitivity{}, fmt.Errorf("unknown workload %s", name)
+	}
+	variants := []repro.Config{
+		{Spec: repro.SpecOff, ProfileArgs: w.ProfileArgs},
+		{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs},
+		{Spec: repro.SpecProfile, ProfileArgs: w.RefArgs},
+	}
+	results := make([]*machine.Result, len(variants))
+	err := par.Each(workers, len(variants), func(i int) error {
+		cfg := variants[i]
+		cfg.Workers = workers
+		c, err := compile(w.Src, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := c.Run(w.RefArgs)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	rb, mis, mat := results[0], results[1], results[2]
+	red := func(r *machine.Result) float64 {
+		if plainLoads(rb) == 0 {
+			return 0
+		}
+		return 1 - float64(plainLoads(r))/float64(plainLoads(rb))
+	}
+	return Sensitivity{
+		Name:                  name,
+		OutputsCorrect:        mis.Output == rb.Output && mat.Output == rb.Output,
+		MismatchChecks:        mis.Counters.CheckLoads,
+		MismatchFailed:        mis.Counters.FailedChecks,
+		MismatchLoadReduction: red(mis),
+		MatchedChecks:         mat.Counters.CheckLoads,
+		MatchedFailed:         mat.Counters.FailedChecks,
+		MatchedLoadReduction:  red(mat),
+	}, nil
 }
 
 // PrintSensitivity renders the input-sensitivity table.

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 // TestPaperShape asserts the qualitative results the paper reports, on the
@@ -169,5 +171,28 @@ func TestInputSensitivityShape(t *testing.T) {
 				t.Errorf("%s: matched profile should not mis-speculate, got %d", name, r.MatchedFailed)
 			}
 		}
+	}
+}
+
+// TestCompileFailsLoudlyOnProfileError pins the satellite fix for the
+// silent StaticEstimate degrade: a workload whose training input faults
+// must surface the profiling error instead of producing skewed
+// profile-guided numbers.
+func TestCompileFailsLoudlyOnProfileError(t *testing.T) {
+	src := `
+int main() {
+	print(100 / arg(0));
+	return 0;
+}`
+	_, err := compile(src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: []int64{0}})
+	if err == nil {
+		t.Fatal("faulting training run must fail the experiment compile")
+	}
+	if !strings.Contains(err.Error(), "profiling run failed") {
+		t.Errorf("error %q does not identify the profiling failure", err)
+	}
+	// a healthy training input compiles cleanly through the same wrapper
+	if _, err := compile(src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: []int64{5}}); err != nil {
+		t.Fatalf("healthy compile failed: %v", err)
 	}
 }

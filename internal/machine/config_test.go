@@ -1,0 +1,97 @@
+package machine
+
+import "testing"
+
+// configProg is a tiny program with two independent loads, so
+// latency-sensitive counters reveal which Config fields a run actually
+// honoured: the serial model charges both load latencies in full while
+// the pipelined scoreboard overlaps them.
+func configProg() *Program {
+	return buildProg([]Instr{
+		{Op: OpLEA, Rd: 0, Imm: 0},
+		{Op: OpLEA, Rd: 1, Imm: 1},
+		{Op: OpMovI, Rd: 2, Imm: 5},
+		{Op: OpSt, Rd: 0, Rs: 2},
+		{Op: OpSt, Rd: 1, Rs: 2},
+		{Op: OpLd, Rd: 3, Rs: 0}, // two independent loads: their
+		{Op: OpLd, Rd: 4, Rs: 1}, // latencies overlap when pipelined
+		{Op: OpAdd, Rd: 5, Rs: 3, Rt: 4},
+		{Op: OpRet, Rs: 5},
+	}, 6, 8)
+}
+
+// TestPartialConfigKeepsOverrides is the regression test for the old
+// wholesale Config replacement: a Config with ALATSize == 0 was swapped
+// for Defaults() entirely, discarding the caller's Pipelined (and any
+// latency) override, while a Config with only ALATSize set ran with
+// MaxSteps 0 and faulted on the first instruction.
+func TestPartialConfigKeepsOverrides(t *testing.T) {
+	p := configProg()
+
+	// {Pipelined: true} must behave exactly like Defaults()+Pipelined
+	want, err := Run(p, nil, func() Config { c := Defaults(); c.Pipelined = true; return c }(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(p, nil, Config{Pipelined: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters != want.Counters {
+		t.Errorf("Config{Pipelined:true} counters %+v, want Defaults()+Pipelined %+v", got.Counters, want.Counters)
+	}
+	// and must differ from the unpipelined default timing (the old code
+	// silently dropped the flag)
+	serial, err := Run(p, nil, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters.Cycles == serial.Counters.Cycles {
+		t.Error("Pipelined override was ignored: pipelined and serial timing agree")
+	}
+}
+
+// TestPartialConfigALATOnly pins the second half of the regression: a
+// lone ALATSize override must inherit every other default (notably a
+// non-zero MaxSteps) instead of faulting instantly.
+func TestPartialConfigALATOnly(t *testing.T) {
+	p := configProg()
+	got, err := Run(p, nil, Config{ALATSize: 16}, nil)
+	if err != nil {
+		t.Fatalf("Config{ALATSize:16} must run with default MaxSteps, got %v", err)
+	}
+	want, err := Run(p, nil, func() Config { c := Defaults(); c.ALATSize = 16; return c }(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters != want.Counters {
+		t.Errorf("Config{ALATSize:16} counters %+v, want Defaults()+ALATSize=16 %+v", got.Counters, want.Counters)
+	}
+}
+
+// TestFreeLatency pins the Free sentinel: 0 means default, negative
+// means an explicit zero-cycle latency.
+func TestFreeLatency(t *testing.T) {
+	cfg := Config{IntLoadLat: Free, CheckHitLat: Free}.withDefaults()
+	if cfg.IntLoadLat != 0 || cfg.CheckHitLat != 0 {
+		t.Errorf("Free fields = %d/%d, want 0/0", cfg.IntLoadLat, cfg.CheckHitLat)
+	}
+	d := Defaults()
+	zero := Config{}.withDefaults()
+	if zero != d {
+		t.Errorf("zero Config normalized to %+v, want Defaults %+v", zero, d)
+	}
+	// a zero-latency load is actually cheaper end to end
+	p := configProg()
+	free, err := Run(p, nil, Config{IntLoadLat: Free}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Run(p, nil, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Counters.Cycles >= def.Counters.Cycles {
+		t.Errorf("free-load run (%d cycles) not cheaper than default (%d)", free.Counters.Cycles, def.Counters.Cycles)
+	}
+}

@@ -8,7 +8,12 @@ import (
 	"strings"
 )
 
-// Config tunes the machine model. The zero value is replaced by Defaults.
+// Config tunes the machine model. Zero fields are normalized
+// individually to their Defaults values, so a partial Config such as
+// {Pipelined: true} or {ALATSize: 16} means "defaults plus this
+// override". A latency or penalty field set to Free (any negative
+// value) means explicitly zero cycles, which the zero value cannot
+// express.
 type Config struct {
 	ALATSize     int // entries in the advanced load address table
 	IntLoadLat   int // integer load latency (L1 hit on Itanium: 2)
@@ -30,6 +35,51 @@ type Config struct {
 	// elapsed. Under this model latency-driven scheduling
 	// (codegen.Schedule) overlaps load latency with independent work.
 	Pipelined bool
+}
+
+// Free marks a latency or penalty field as explicitly zero-cost. Plain
+// 0 in a Config field means "use the default" (the zero value must
+// behave like Defaults()), so zero cycles needs a sentinel.
+const Free = -1
+
+// withDefaults normalizes a Config field by field: zero fields take
+// their Defaults() value; negative latency/penalty fields (Free) become
+// zero cycles. The old behavior — replacing the whole struct whenever
+// ALATSize was zero — silently discarded explicit Pipelined, latency
+// and MaxSteps overrides (and a Config with only ALATSize set ran with
+// MaxSteps 0, faulting on the first instruction).
+func (cfg Config) withDefaults() Config {
+	d := Defaults()
+	if cfg.ALATSize <= 0 {
+		cfg.ALATSize = d.ALATSize
+	}
+	lat := func(f *int, def int) {
+		if *f == 0 {
+			*f = def
+		} else if *f < 0 {
+			*f = 0
+		}
+	}
+	lat(&cfg.IntLoadLat, d.IntLoadLat)
+	lat(&cfg.FPLoadLat, d.FPLoadLat)
+	lat(&cfg.CheckHitLat, d.CheckHitLat)
+	lat(&cfg.CheckMissPen, d.CheckMissPen)
+	lat(&cfg.StoreLat, d.StoreLat)
+	lat(&cfg.IntMulLat, d.IntMulLat)
+	lat(&cfg.IntDivLat, d.IntDivLat)
+	lat(&cfg.FPArithLat, d.FPArithLat)
+	lat(&cfg.FPDivLat, d.FPDivLat)
+	lat(&cfg.CallOverhead, d.CallOverhead)
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = d.MaxSteps
+	}
+	if cfg.MaxCallDepth <= 0 {
+		cfg.MaxCallDepth = d.MaxCallDepth
+	}
+	if cfg.StackSlots <= 0 {
+		cfg.StackSlots = d.StackSlots
+	}
+	return cfg
 }
 
 // Defaults is the Itanium-flavoured model from the paper's §5.2.
@@ -110,9 +160,7 @@ type vm struct {
 
 // Run executes the compiled program's main function.
 func Run(prog *Program, args []int64, cfg Config, out io.Writer) (*Result, error) {
-	if cfg.ALATSize == 0 {
-		cfg = Defaults()
-	}
+	cfg = cfg.withDefaults()
 	var sb *strings.Builder
 	if out == nil {
 		sb = &strings.Builder{}

@@ -112,7 +112,7 @@ func New() *Profile {
 	}
 }
 
-// loadSet returns (creating if needed) the LOC set for a load site.
+// LoadSet returns (creating if needed) the LOC set for a load site.
 func (p *Profile) LoadSet(site int) LocSet {
 	s := p.LoadLocs[site]
 	if s == nil {

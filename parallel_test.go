@@ -84,6 +84,35 @@ func TestRunAllParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestAuxExperimentsParallelDeterminism pins the Workers contract for
+// the studies outside RunAll: the smvp case study and the sensitivity
+// table must be identical at Workers=1 (the serial oracle) and
+// Workers=8.
+func TestAuxExperimentsParallelDeterminism(t *testing.T) {
+	s1, err := experiments.RunSmvpWorkers(1)
+	if err != nil {
+		t.Fatalf("serial smvp: %v", err)
+	}
+	s8, err := experiments.RunSmvpWorkers(8)
+	if err != nil {
+		t.Fatalf("parallel smvp: %v", err)
+	}
+	if s1 != s8 {
+		t.Errorf("smvp differs between workers=1 and workers=8:\n%+v\nvs\n%+v", s1, s8)
+	}
+	r1, err := experiments.RunSensitivityWorkers(1)
+	if err != nil {
+		t.Fatalf("serial sensitivity: %v", err)
+	}
+	r8, err := experiments.RunSensitivityWorkers(8)
+	if err != nil {
+		t.Fatalf("parallel sensitivity: %v", err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("sensitivity rows differ between workers=1 and workers=8:\n%+v\nvs\n%+v", r1, r8)
+	}
+}
+
 // TestFrontendCacheDetached pins the cache soundness property: a
 // compilation must never observe mutations made to another compilation of
 // the same source, even though both started from one cached parse.

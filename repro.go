@@ -16,11 +16,12 @@
 package repro
 
 import (
-	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/alias"
+	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -128,56 +129,143 @@ type Compilation struct {
 	Stats   map[string]*ssapre.Stats
 	Profile *profile.Profile
 	Alias   *alias.Result
+	// ProfileErr records a failed training run: the profiling
+	// interpreter faulted on Config.ProfileArgs and the compilation fell
+	// back to the static Ball-Larus estimate with no alias profile.
+	// Compile itself still succeeds (the fallback is well-defined), but
+	// profile-guided measurements are meaningless under it, so the
+	// experiments treat a non-nil ProfileErr as fatal.
+	ProfileErr error
 }
 
-// The compilation cache: one pristine lowered program per source hash.
-// Compile, CollectProfile, Reference and ReuseLimit all start from the
-// same parse, and an experiment sweep re-compiles each workload under
-// many config variants, so N variants pay for one parse instead of 2N
-// frontend runs. Masters in the cache are never mutated — every caller
-// receives a deep ir.Clone — which is what makes sharing across
-// concurrent compiles sound.
-const frontendCacheCap = 256
+// The compilation cache (internal/cache): the in-memory tier memoizes
+// one pristine lowered program per source hash plus the serialized
+// alias/edge profile per (source, options, training-args) key, and the
+// optional on-disk tier (SetCacheDir) persists the profiles across
+// processes. Compile, CollectProfile, Reference and ReuseLimit all
+// start from the same parse, and an experiment sweep re-compiles each
+// workload under many config variants, so N variants pay for one parse
+// and one profiling interpreter run instead of N of each. Masters in
+// the cache are never mutated — every caller receives a deep ir.Clone —
+// which is what makes sharing across concurrent compiles sound.
+const compCacheCap = 512
 
 var (
-	frontendMu    sync.Mutex
-	frontendCache = map[[sha256.Size]byte]*ir.Program{}
+	compCache     = cache.New(compCacheCap)
+	profilingRuns atomic.Uint64
 )
 
 // frontend parses + lowers IR from source, memoized by source hash; the
 // caller owns the returned clone outright.
 func frontend(src string) (*ir.Program, error) {
-	key := sha256.Sum256([]byte(src))
-	frontendMu.Lock()
-	master, ok := frontendCache[key]
-	frontendMu.Unlock()
-	if ok {
-		return ir.Clone(master), nil
-	}
-	f, err := source.Parse(src)
+	key := cache.KeyOf([]byte("frontend"), []byte(src))
+	v, err := compCache.GetObject(key, func() (any, error) {
+		f, err := source.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return source.Lower(f)
+	})
 	if err != nil {
 		return nil, err
 	}
-	prog, err := source.Lower(f)
-	if err != nil {
-		return nil, err
-	}
-	frontendMu.Lock()
-	if len(frontendCache) >= frontendCacheCap {
-		frontendCache = map[[sha256.Size]byte]*ir.Program{}
-	}
-	frontendCache[key] = prog
-	frontendMu.Unlock()
-	return ir.Clone(prog), nil
+	return ir.Clone(v.(*ir.Program)), nil
 }
 
-// ResetFrontendCache drops every memoized parse. Benchmarks use it to
-// measure cold-compile throughput; production callers never need it.
-func ResetFrontendCache() {
-	frontendMu.Lock()
-	frontendCache = map[[sha256.Size]byte]*ir.Program{}
-	frontendMu.Unlock()
+// profileCacheVersion stamps every profile cache key; bump it whenever
+// the meaning of the computation changes (refinement, the interpreter's
+// collection semantics, or the serialization), which invalidates stale
+// persistent entries by construction.
+const profileCacheVersion = 1
+
+// profileKey is the content-addressed key of a profiling run: source
+// text, the options that shape reference-site ids and set contents
+// (refinement pipeline version, TBAA flag), and the training input.
+func profileKey(src string, cfg Config) cache.Key {
+	opts := fmt.Sprintf("v%d tbaa=%t", profileCacheVersion, !cfg.NoTypeBasedAA)
+	args := make([]byte, 8*len(cfg.ProfileArgs))
+	for i, a := range cfg.ProfileArgs {
+		binary.LittleEndian.PutUint64(args[i*8:], uint64(a))
+	}
+	return cache.KeyOf([]byte("profile"), []byte(src), []byte(opts), args)
 }
+
+// profileData returns the serialized alias/edge profile for (src,
+// options, training args), memoized in memory and — when a cache dir is
+// set — persisted on disk. The computation is canonical: frontend, the
+// same flow-sensitive refinement Compile applies (so reference-site ids
+// line up), one profiling interpreter run, profile.Marshal. Compile,
+// CollectProfile and every experiment variant share it, so a sweep pays
+// for one interpreter run per key no matter how many variants it
+// compiles, and a warm-started process pays for none.
+func profileData(src string, cfg Config) ([]byte, error) {
+	return compCache.GetBytes(profileKey(src, cfg), func() ([]byte, error) {
+		profilingRuns.Add(1)
+		prog, err := frontend(src)
+		if err != nil {
+			return nil, err
+		}
+		alias.RefineWorkers(prog, cfg.Workers)
+		prof := profile.New()
+		if _, err := interp.Run(prog, interp.Options{
+			CollectEdges: true, CollectAlias: true, Profile: prof, Args: cfg.ProfileArgs,
+		}); err != nil {
+			return nil, err
+		}
+		return profile.Marshal(prog, prof)
+	})
+}
+
+// ProfilingRuns counts the profiling interpreter runs actually executed
+// (cache misses); sweeps assert "profile once" against its deltas.
+func ProfilingRuns() uint64 { return profilingRuns.Load() }
+
+// CacheCounters is a snapshot of the compilation cache's cumulative
+// hit/miss/compute/evict counters (see internal/cache.Stats).
+type CacheCounters struct {
+	MemHits    uint64
+	MemMisses  uint64
+	DiskHits   uint64
+	DiskMisses uint64
+	Computes   uint64
+	Evictions  uint64
+	Corrupt    uint64
+}
+
+func (s CacheCounters) String() string {
+	return fmt.Sprintf("mem %d/%d hit/miss, disk %d/%d hit/miss, %d computes, %d evictions, %d corrupt",
+		s.MemHits, s.MemMisses, s.DiskHits, s.DiskMisses, s.Computes, s.Evictions, s.Corrupt)
+}
+
+// CacheStats snapshots the compilation cache counters.
+func CacheStats() CacheCounters {
+	s := compCache.Stats()
+	return CacheCounters{
+		MemHits: s.MemHits, MemMisses: s.MemMisses,
+		DiskHits: s.DiskHits, DiskMisses: s.DiskMisses,
+		Computes: s.Computes, Evictions: s.Evictions, Corrupt: s.Corrupt,
+	}
+}
+
+// SetCacheDir enables the persistent on-disk cache tier under dir
+// (serialized profiles survive the process; a later run warm-starts
+// from them), or disables it when dir is empty. Corrupt or stale
+// entries are discarded and recomputed, never surfaced as errors.
+func SetCacheDir(dir string) error { return compCache.SetDir(dir) }
+
+// SetCacheEnabled turns compilation-pipeline memoization off or back on
+// (default on). With the cache off every Compile re-parses and
+// re-profiles from scratch — the oracle for cache-transparency tests.
+func SetCacheEnabled(on bool) { compCache.SetEnabled(on) }
+
+// ResetCaches drops the whole in-memory cache tier (parses and
+// profiles); the persistent tier, if configured, stays. Tests and
+// benchmarks use it to measure cold starts.
+func ResetCaches() { compCache.Reset() }
+
+// ResetFrontendCache drops every memoized parse (and profile). Kept as
+// the historical name; it is ResetCaches.
+func ResetFrontendCache() { ResetCaches() }
 
 // Compile runs the full pipeline on MiniC source.
 func Compile(src string, cfg Config) (*Compilation, error) {
@@ -208,14 +296,23 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 			prof.ApplyEdges(prog)
 			c.Profile = prof
 		} else {
-			prof = profile.New()
-			_, perr := interp.Run(prog, interp.Options{
-				CollectEdges: true, CollectAlias: true, Profile: prof, Args: cfg.ProfileArgs,
-			})
+			// the training run is memoized: every variant of a sweep
+			// that shares (source, options, training args) reuses one
+			// interpreter run's serialized profile
+			data, perr := profileData(src, cfg)
 			if perr == nil {
+				p, err := profile.Unmarshal(prog, data)
+				if err != nil {
+					return nil, fmt.Errorf("repro: cached profile: %w", err)
+				}
+				prof = p
 				prof.ApplyEdges(prog)
 				c.Profile = prof
 			} else {
+				// the training input faulted: fall back to the static
+				// estimate, but record the failure — silently degrading
+				// would skew every profile-guided measurement
+				c.ProfileErr = fmt.Errorf("repro: profiling run failed: %w", perr)
 				profile.StaticEstimate(prog)
 				prof = nil
 			}
@@ -282,22 +379,12 @@ func (c *Compilation) TotalStats() ssapre.Stats {
 
 // CollectProfile runs the alias/edge profiler on src with the given
 // training input and returns the serialized profile, suitable for
-// Config.ProfileJSON in a later Compile.
+// Config.ProfileJSON in a later Compile. It is the same canonical,
+// cached computation Compile uses (frontend, refinement, one
+// interpreter run), so collecting a profile warms the cache for a later
+// Compile with the same training args — and vice versa.
 func CollectProfile(src string, args []int64) ([]byte, error) {
-	prog, err := frontend(src)
-	if err != nil {
-		return nil, err
-	}
-	// the same refinement that Compile applies must run first so that
-	// reference-site ids line up
-	alias.Refine(prog)
-	prof := profile.New()
-	if _, err := interp.Run(prog, interp.Options{
-		CollectEdges: true, CollectAlias: true, Profile: prof, Args: args,
-	}); err != nil {
-		return nil, err
-	}
-	return profile.Marshal(prog, prof)
+	return profileData(src, Config{ProfileArgs: args})
 }
 
 // Reference interprets the unoptimized program and returns its result.

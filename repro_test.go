@@ -410,3 +410,45 @@ func TestCompilationDeterminism(t *testing.T) {
 		t.Errorf("counters differ across identical compiles:\n%+v\n%+v", r1.Counters, r2.Counters)
 	}
 }
+
+// TestProfileErrRecorded pins the failure contract of the training run:
+// a faulting training input no longer degrades silently to the static
+// estimate — Compile still succeeds (the fallback is well-defined) but
+// records the fault on Compilation.ProfileErr.
+func TestProfileErrRecorded(t *testing.T) {
+	src := `
+int main() {
+	print(100 / arg(0));
+	return 0;
+}`
+	c, err := Compile(src, Config{Spec: SpecProfile, ProfileArgs: []int64{0}})
+	if err != nil {
+		t.Fatalf("compile must survive a faulting training run: %v", err)
+	}
+	if c.ProfileErr == nil {
+		t.Fatal("faulting training run (divide by zero) was not recorded on ProfileErr")
+	}
+	if c.Profile != nil {
+		t.Error("a failed training run must not leave a partial profile attached")
+	}
+	// the fallback build still executes correctly on good inputs
+	res, err := c.Run([]int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "25\n"; res.Output != want {
+		t.Errorf("output %q, want %q", res.Output, want)
+	}
+
+	// a good training input on the same source carries no error
+	c2, err := Compile(src, Config{Spec: SpecProfile, ProfileArgs: []int64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.ProfileErr != nil {
+		t.Fatalf("healthy training run recorded ProfileErr: %v", c2.ProfileErr)
+	}
+	if c2.Profile == nil {
+		t.Error("healthy training run should attach a profile")
+	}
+}
