@@ -5,19 +5,25 @@
 // Usage:
 //
 //	experiments                 # everything
-//	experiments -exp fig10      # one table: smvp|fig10|fig11|fig12|heur|ablation
+//	experiments -exp fig10      # one table: smvp|fig10|fig11|fig12|heur|ablation|machine
 //	experiments -cache-dir DIR  # persist profiles; warm runs skip profiling
 //	experiments -workers 1      # serial oracle (output is identical)
+//	experiments -no-trace       # direct VM execution (skip record-and-replay)
+//	experiments -cpuprofile f   # write a pprof CPU profile to f
+//	experiments -memprofile f   # write a pprof heap profile to f
 //
-// The report bytes are identical at any -workers value and with the
-// cache cold, warm, or absent; -cache-stats prints the cache counters to
-// stderr so observability never perturbs the report itself.
+// The report bytes are identical at any -workers value, with the cache
+// cold, warm, or absent, and with -no-trace; -cache-stats prints the
+// cache counters to stderr so observability never perturbs the report
+// itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
 	"repro/internal/experiments"
@@ -25,14 +31,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation")
+	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine")
 	workers := flag.Int("workers", 0, "max concurrent compilations (0 = all cores, 1 = serial oracle)")
 	cacheDir := flag.String("cache-dir", "", "persist profiles/compilation artifacts under this directory across runs")
 	cacheStats := flag.Bool("cache-stats", false, "print compilation-cache hit/miss counters to stderr when done")
+	noTrace := flag.Bool("no-trace", false, "execute the VM directly instead of the record-and-replay trace path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file when done")
 	flag.Parse()
 
 	if *cacheDir != "" {
 		if err := repro.SetCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *noTrace {
+		repro.SetTraceEnabled(false)
+	}
+	// profiles are finalized explicitly (not deferred) because the error
+	// paths below leave through os.Exit
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -71,9 +96,30 @@ func main() {
 		}
 	case "ablation":
 		err = ablation(os.Stdout, *workers)
+	case "machine":
+		// hardware sensitivity sweeps on the ablation kernels — the
+		// showcase of the record-and-replay path (one functional run
+		// per kernel, one cheap replay per grid point)
+		for _, name := range []string{"equake", "mcf"} {
+			var points []experiments.MachinePoint
+			points, err = experiments.RunMachineSweepWorkers(name, *workers)
+			if err != nil {
+				break
+			}
+			experiments.PrintMachineSweep(os.Stdout, name, points)
+			fmt.Println()
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		if perr := writeMemProfile(*memProfile); perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", perr)
+		}
 	}
 	if *cacheStats {
 		fmt.Fprintln(os.Stderr, "cache:", repro.CacheStats(), "| profiling runs:", repro.ProfilingRuns())
@@ -82,6 +128,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile snapshots the heap after a GC (so the profile shows
+// live allocations, not garbage) into path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // compile wraps repro.Compile and refuses a compilation whose training

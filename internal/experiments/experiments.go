@@ -171,7 +171,9 @@ func RunOneWorkers(w workloads.Workload, workers int) (Row, error) {
 	// independent; item len(variants) is the simulation
 	err := par.Each(workers, len(variants)+1, func(i int) error {
 		if i == len(variants) {
-			sim, err := repro.ReuseLimit(w.Src, w.RefArgs)
+			// sharded by equivalence class; identical totals at any
+			// worker count, so the report bytes stay stable
+			sim, err := repro.ReuseLimitWorkers(w.Src, w.RefArgs, workers)
 			if err != nil {
 				return err
 			}
@@ -466,6 +468,92 @@ func sensitivityRow(name string, workers int) (Sensitivity, error) {
 		MatchedFailed:         mat.Counters.FailedChecks,
 		MatchedLoadReduction:  red(mat),
 	}, nil
+}
+
+// MachineSweepConfigs returns the machine-model grid of the §5-style
+// hardware sensitivity sweeps: ALAT capacities crossed with three
+// memory-latency points, under both the serial and the pipelined timing
+// model. With the trace path enabled the whole grid costs one
+// functional run plus one cheap replay per point.
+func MachineSweepConfigs() []machine.Config {
+	latencies := []struct{ intLd, fpLd int }{{2, 9}, {4, 12}, {8, 24}}
+	var cfgs []machine.Config
+	for _, pipelined := range []bool{false, true} {
+		for _, alat := range []int{4, 8, 32, 128} {
+			for _, lat := range latencies {
+				cfgs = append(cfgs, machine.Config{
+					ALATSize:   alat,
+					IntLoadLat: lat.intLd,
+					FPLoadLat:  lat.fpLd,
+					Pipelined:  pipelined,
+				})
+			}
+		}
+	}
+	return cfgs
+}
+
+// MachinePoint is one (workload, machine config) measurement of the
+// hardware sensitivity sweep.
+type MachinePoint struct {
+	Config       machine.Config
+	Cycles       int64
+	FailedChecks int64
+	Evictions    int64
+}
+
+// RunMachineSweep measures the profile-guided speculative build of one
+// workload under every MachineSweepConfigs point, fanning the
+// re-timings out over every core.
+func RunMachineSweep(name string) ([]MachinePoint, error) {
+	return RunMachineSweepWorkers(name, 0)
+}
+
+// RunMachineSweepWorkers is RunMachineSweep with a worker bound. The
+// compiled program executes functionally once; each grid point is a
+// trace replay sharing the recording read-only (or a direct run when
+// tracing is disabled — the results are identical either way).
+func RunMachineSweepWorkers(name string, workers int) ([]MachinePoint, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %s", name)
+	}
+	c, err := compile(w.Src, repro.Config{
+		Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs, Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfgs := MachineSweepConfigs()
+	results, err := c.Evaluate(w.RefArgs, cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]MachinePoint, len(cfgs))
+	for i, r := range results {
+		points[i] = MachinePoint{
+			Config:       cfgs[i],
+			Cycles:       r.Counters.Cycles,
+			FailedChecks: r.Counters.FailedChecks,
+			Evictions:    r.Counters.ALATEvictions,
+		}
+	}
+	return points, nil
+}
+
+// PrintMachineSweep renders the hardware sensitivity table.
+func PrintMachineSweep(w io.Writer, name string, points []MachinePoint) {
+	fmt.Fprintf(w, "Hardware sensitivity (%s, ref input)\n", name)
+	fmt.Fprintf(w, "%-10s %6s %8s %14s %10s %10s\n", "model", "alat", "ld lat", "cycles", "failed", "evicted")
+	for _, p := range points {
+		model := "serial"
+		if p.Config.Pipelined {
+			model = "pipelined"
+		}
+		fmt.Fprintf(w, "%-10s %6d %5d/%-2d %14d %10d %10d\n",
+			model, p.Config.ALATSize, p.Config.IntLoadLat, p.Config.FPLoadLat,
+			p.Cycles, p.FailedChecks, p.Evictions)
+	}
 }
 
 // PrintSensitivity renders the input-sensitivity table.

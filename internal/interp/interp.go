@@ -38,6 +38,10 @@ type Options struct {
 	// Reuse, if non-nil, receives every dynamic memory access for the
 	// Fig. 12 load-reuse limit simulation.
 	Reuse *ReuseSim
+	// MemTrace, if non-nil, records every dynamic memory access (the
+	// same stream Reuse observes) for later sharded replay through
+	// ShardedReuse.
+	MemTrace *MemTrace
 }
 
 // Result reports what a run produced.
@@ -422,6 +426,9 @@ func (m *machine) loadMem(addr int, site int) (uint64, error) {
 	if m.opts.Reuse != nil {
 		m.opts.Reuse.access(site, addr, m.mem[addr], false, m.curFrameID())
 	}
+	if m.opts.MemTrace != nil {
+		m.opts.MemTrace.append(MemEvent{Site: site, Addr: addr, Val: m.mem[addr], Invocation: m.curFrameID()})
+	}
 	if m.prof != nil && m.opts.CollectAlias {
 		loc, ok := m.locate(addr)
 		if ok {
@@ -444,6 +451,9 @@ func (m *machine) storeMem(addr int, val uint64, site int) error {
 	m.stores++
 	if m.opts.Reuse != nil {
 		m.opts.Reuse.access(site, addr, val, true, m.curFrameID())
+	}
+	if m.opts.MemTrace != nil {
+		m.opts.MemTrace.append(MemEvent{Site: site, Addr: addr, Val: val, Invocation: m.curFrameID(), Store: true})
 	}
 	if m.prof != nil && m.opts.CollectAlias {
 		loc, ok := m.locate(addr)
@@ -469,6 +479,9 @@ func (m *machine) storeMemRaw(addr int, val uint64) error {
 	m.stores++
 	if m.opts.Reuse != nil {
 		m.opts.Reuse.access(0, addr, val, true, m.curFrameID())
+	}
+	if m.opts.MemTrace != nil {
+		m.opts.MemTrace.append(MemEvent{Addr: addr, Val: val, Invocation: m.curFrameID(), Store: true})
 	}
 	m.mem[addr] = val
 	return nil

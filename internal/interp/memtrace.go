@@ -1,0 +1,114 @@
+package interp
+
+import (
+	"repro/internal/par"
+)
+
+// This file shards the Fig. 12 reuse-limit simulation. A single
+// functional run records every dynamic memory access into a MemTrace
+// (the interp-side analogue of the machine package's recorded trace);
+// ShardedReuse then partitions the event stream by reuse-equivalence
+// class and walks the shards in parallel. The simulation's state is a
+// map keyed by (class, address) and an event only ever interacts with
+// the previous event of its own key, so partitioning by class preserves
+// per-key event order exactly — the merged totals are identical to a
+// serial ReuseSim walk (TestShardedReuseMatchesSerial pins this).
+
+// MemEvent is one dynamic memory access as the reuse simulation sees
+// it: the reference-site id (0 for direct stores), the slot address,
+// the value loaded or stored, the procedure activation it happened in,
+// and whether it was a store.
+type MemEvent struct {
+	Site       int
+	Addr       int
+	Val        uint64
+	Invocation int64
+	Store      bool
+}
+
+// memChunkLen is the number of events per chunk (~160 KiB each).
+const memChunkLen = 1 << 12
+
+// MemTrace is an append-only chunked stream of dynamic memory accesses,
+// recorded by the interpreter when Options.MemTrace is set. A finished
+// trace is immutable and safe for concurrent read-only walks.
+type MemTrace struct {
+	chunks [][]MemEvent
+	n      int64
+}
+
+func (t *MemTrace) append(e MemEvent) {
+	ci := int(t.n) / memChunkLen
+	if ci == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]MemEvent, 0, memChunkLen))
+	}
+	t.chunks[ci] = append(t.chunks[ci], e)
+	t.n++
+}
+
+// Len reports the number of recorded events.
+func (t *MemTrace) Len() int64 { return t.n }
+
+// each walks the events in record order.
+func (t *MemTrace) each(fn func(MemEvent)) {
+	for _, c := range t.chunks {
+		for i := range c {
+			fn(c[i])
+		}
+	}
+}
+
+// classOf mirrors ReuseSim.access's class resolution: sites absent from
+// the map get a private per-site class.
+func classOf(classes map[int]int, site int) int {
+	if c, ok := classes[site]; ok {
+		return c
+	}
+	return -site - 1
+}
+
+// ShardedReuse replays a recorded memory-event stream through the
+// reuse-limit simulation, partitioned by equivalence class across
+// workers (workers <= 1 is the serial walk). Every (class, address) key
+// lands in exactly one shard with its events in record order, so the
+// merged result — Loads, Reused, PotentialReduction, and the final
+// last-access table — is identical to feeding the same stream through
+// one ReuseSim.
+func ShardedReuse(classes map[int]int, tr *MemTrace, workers int) *ReuseSim {
+	w := par.Workers(workers)
+	if int64(w) > tr.n {
+		w = int(tr.n)
+	}
+	if w <= 1 {
+		sim := NewReuseSim(classes)
+		tr.each(func(e MemEvent) {
+			sim.access(e.Site, e.Addr, e.Val, e.Store, e.Invocation)
+		})
+		return sim
+	}
+	shards := make([]*ReuseSim, w)
+	// each worker walks the full (immutable) stream and keeps the events
+	// whose class hashes to it: reading is cheap, and skipping the
+	// partition-copy keeps the walk allocation-free
+	_ = par.Each(w, w, func(s int) error {
+		sim := NewReuseSim(classes)
+		tr.each(func(e MemEvent) {
+			class := classOf(classes, e.Site)
+			if ((class%w)+w)%w != s {
+				return
+			}
+			sim.access(e.Site, e.Addr, e.Val, e.Store, e.Invocation)
+		})
+		shards[s] = sim
+		return nil
+	})
+	merged := NewReuseSim(classes)
+	for _, s := range shards {
+		merged.Loads += s.Loads
+		merged.Reused += s.Reused
+		for k, v := range s.last { // key sets are disjoint by construction
+			merged.last[k] = v
+		}
+	}
+	return merged
+}

@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkALATStoreInvalidate exercises the simulator's hottest ALAT
+// path: every dynamic store consults the table. The address-indexed
+// implementation is O(1) per store regardless of capacity — the series
+// across sizes should be flat (the old linear scan grew with size).
+func BenchmarkALATStoreInvalidate(b *testing.B) {
+	for _, size := range []int{8, 32, 512} {
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			a := newALAT(size)
+			for i := 0; i < size; i++ {
+				a.insert(1, i, 10_000+i) // fill with non-conflicting addresses
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.invalidate(i & 1023) // miss: the common no-conflict store
+			}
+		})
+	}
+}
+
+// BenchmarkALATInsertCheck measures the ld.a → ld.c round trip,
+// including capacity evictions when the working set exceeds the table.
+func BenchmarkALATInsertCheck(b *testing.B) {
+	for _, size := range []int{8, 512} {
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			a := newALAT(size)
+			for i := 0; i < b.N; i++ {
+				reg := i & 63 // 64-register working set
+				a.insert(1, reg, 10_000+reg)
+				if !a.check(1, reg, 10_000+reg) {
+					b.Fatal("freshly inserted entry must hit")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecordVsRunVsReplay compares the three engine modes on the
+// same program: plain functional execution, execution with trace
+// recording, and a pure trace re-timing.
+func BenchmarkRecordVsRunVsReplay(b *testing.B) {
+	tc := replayPrograms()["alatLoop"]
+	b.Run("run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(tc.p, tc.args, Config{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Record(tc.p, tc.args, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	tr, err := Record(tc.p, tc.args, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Replay(tc.p, tr, Config{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay_pipelined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Replay(tc.p, tr, Config{Pipelined: true}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -82,6 +82,13 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// Normalized returns the Config with every zero field resolved to its
+// Defaults() value and Free sentinels resolved to zero cycles — the
+// exact Config a Run with this value executes under. Callers that key
+// caches by configuration (the trace cache in package repro) use it so
+// equivalent Configs share entries.
+func (cfg Config) Normalized() Config { return cfg.withDefaults() }
+
 // Defaults is the Itanium-flavoured model from the paper's §5.2.
 func Defaults() Config {
 	return Config{
@@ -127,14 +134,6 @@ type Result struct {
 	Counters Counters
 }
 
-// alatEntry is one ALAT slot.
-type alatEntry struct {
-	valid   bool
-	frameID int64
-	reg     int
-	addr    int
-}
-
 type vm struct {
 	prog *Program
 	cfg  Config
@@ -145,8 +144,7 @@ type vm struct {
 	heapBase int
 	heapNext int
 
-	alat       []alatEntry
-	alatVictim int
+	alat *alat
 
 	args []int64
 
@@ -155,42 +153,68 @@ type vm struct {
 	frameID int64
 	clock   int64 // pipelined-model absolute cycle
 
+	// trace, when non-nil, receives the architectural event stream
+	// (branch directions, speculative-fault bits, ALAT-relevant
+	// addresses) for later re-timing by Replay. See trace.go.
+	trace *Trace
+
 	ctr Counters
 }
 
 // Run executes the compiled program's main function.
 func Run(prog *Program, args []int64, cfg Config, out io.Writer) (*Result, error) {
+	res, _, err := execute(prog, args, cfg, out, nil)
+	return res, err
+}
+
+// run is the shared engine behind Run and Record. When trace is non-nil
+// the architectural event stream is appended to it as execution
+// proceeds.
+func execute(prog *Program, args []int64, cfg Config, out io.Writer, trace *Trace) (*Result, *Trace, error) {
 	cfg = cfg.withDefaults()
 	var sb *strings.Builder
 	if out == nil {
 		sb = &strings.Builder{}
 		out = sb
 	}
-	m := &vm{prog: prog, cfg: cfg, out: out, args: args}
+	m := &vm{prog: prog, cfg: cfg, out: out, args: args, trace: trace}
 	m.mem = make([]uint64, prog.GlobSize+cfg.StackSlots)
 	for a, v := range prog.GlobalInit {
 		m.mem[a] = v
 	}
 	m.stackTop = prog.GlobSize
 	m.heapBase = prog.GlobSize + cfg.StackSlots
-	m.alat = make([]alatEntry, cfg.ALATSize)
+	m.alat = newALAT(cfg.ALATSize)
 
 	mainFn, ok := prog.Funcs["main"]
 	if !ok {
-		return nil, errors.New("machine: no main function")
+		return nil, nil, errors.New("machine: no main function")
 	}
 	ret, _, err := m.call(mainFn, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.Pipelined {
 		m.ctr.Cycles = m.clock
 	}
+	m.ctr.ALATEvictions = m.alat.evictions
 	res := &Result{Ret: int64(ret), Counters: m.ctr}
 	if sb != nil {
 		res.Output = sb.String()
 	}
-	return res, nil
+	if trace != nil {
+		trace.Ret = res.Ret
+		trace.Output = res.Output
+		trace.Steps = m.steps
+		trace.StackSlots = cfg.StackSlots
+		trace.Frames = m.frameID
+		// statistics classes already tallied by the counters
+		trace.counts[cStore] = m.ctr.Stores
+		trace.counts[cSpec] = m.ctr.SpecLoads
+		trace.counts[cSpecFault] = m.ctr.SpecLoadFaults
+		trace.counts[cAdv] = m.ctr.AdvLoads
+	}
+	return res, trace, nil
 }
 
 func (m *vm) fault(format string, a ...any) error {
@@ -199,48 +223,6 @@ func (m *vm) fault(format string, a ...any) error {
 
 func (m *vm) validAddr(a int) bool {
 	return a >= 0 && a < len(m.mem) && (a < m.heapBase || a < m.heapBase+m.heapNext)
-}
-
-// alatInsert allocates (or refreshes) the entry for a register. The ALAT
-// is fully associative like Itanium's, with round-robin eviction when
-// full; an advanced load to a register always replaces that register's
-// own entry first.
-func (m *vm) alatInsert(frameID int64, reg, addr int) {
-	free := -1
-	for i := range m.alat {
-		e := &m.alat[i]
-		if e.valid && e.frameID == frameID && e.reg == reg {
-			e.addr = addr
-			return
-		}
-		if !e.valid && free < 0 {
-			free = i
-		}
-	}
-	if free < 0 {
-		free = m.alatVictim % len(m.alat)
-		m.alatVictim++
-		m.ctr.ALATEvictions++
-	}
-	m.alat[free] = alatEntry{valid: true, frameID: frameID, reg: reg, addr: addr}
-}
-
-func (m *vm) alatCheck(frameID int64, reg, addr int) bool {
-	for i := range m.alat {
-		e := &m.alat[i]
-		if e.valid && e.frameID == frameID && e.reg == reg {
-			return e.addr == addr
-		}
-	}
-	return false
-}
-
-func (m *vm) alatInvalidate(addr int) {
-	for i := range m.alat {
-		if m.alat[i].valid && m.alat[i].addr == addr {
-			m.alat[i].valid = false
-		}
-	}
 }
 
 func boolToU64(b bool) uint64 {
@@ -261,6 +243,9 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 	m.depth++
 	m.frameID++
 	myFrame := m.frameID
+	if m.trace != nil && m.depth > m.trace.MaxDepth {
+		m.trace.MaxDepth = m.depth
+	}
 	base := m.stackTop
 	for i := 0; i < f.FrameSize; i++ {
 		m.mem[base+i] = 0
@@ -328,6 +313,9 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 		case OpMul:
 			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) * int64(regs[ins.Rt]))
 			lat = int64(m.cfg.IntMulLat)
+			if m.trace != nil {
+				m.trace.counts[cMul]++
+			}
 		case OpDiv:
 			d := int64(regs[ins.Rt])
 			if d == 0 {
@@ -335,6 +323,9 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			}
 			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) / d)
 			lat = int64(m.cfg.IntDivLat)
+			if m.trace != nil {
+				m.trace.counts[cDivMod]++
+			}
 		case OpMod:
 			d := int64(regs[ins.Rt])
 			if d == 0 {
@@ -342,6 +333,9 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			}
 			regs[ins.Rd] = uint64(int64(regs[ins.Rs]) % d)
 			lat = int64(m.cfg.IntDivLat)
+			if m.trace != nil {
+				m.trace.counts[cDivMod]++
+			}
 		case OpAnd:
 			regs[ins.Rd] = regs[ins.Rs] & regs[ins.Rt]
 		case OpOr:
@@ -359,18 +353,33 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 		case OpFAdd:
 			regs[ins.Rd] = math.Float64bits(math.Float64frombits(regs[ins.Rs]) + math.Float64frombits(regs[ins.Rt]))
 			lat = int64(m.cfg.FPArithLat)
+			if m.trace != nil {
+				m.trace.counts[cFPArith]++
+			}
 		case OpFSub:
 			regs[ins.Rd] = math.Float64bits(math.Float64frombits(regs[ins.Rs]) - math.Float64frombits(regs[ins.Rt]))
 			lat = int64(m.cfg.FPArithLat)
+			if m.trace != nil {
+				m.trace.counts[cFPArith]++
+			}
 		case OpFMul:
 			regs[ins.Rd] = math.Float64bits(math.Float64frombits(regs[ins.Rs]) * math.Float64frombits(regs[ins.Rt]))
 			lat = int64(m.cfg.FPArithLat)
+			if m.trace != nil {
+				m.trace.counts[cFPArith]++
+			}
 		case OpFDiv:
 			regs[ins.Rd] = math.Float64bits(math.Float64frombits(regs[ins.Rs]) / math.Float64frombits(regs[ins.Rt]))
 			lat = int64(m.cfg.FPDivLat)
+			if m.trace != nil {
+				m.trace.counts[cFPDiv]++
+			}
 		case OpFNeg:
 			regs[ins.Rd] = math.Float64bits(-math.Float64frombits(regs[ins.Rs]))
 			lat = int64(m.cfg.FPArithLat)
+			if m.trace != nil {
+				m.trace.counts[cFPArith]++
+			}
 		case OpCmpEQ:
 			regs[ins.Rd] = boolToU64(int64(regs[ins.Rs]) == int64(regs[ins.Rt]))
 		case OpCmpNE:
@@ -415,16 +424,34 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			}
 			m.ctr.LoadsRetired++
 			m.ctr.DataAccessCycles += lat
+			if m.trace != nil {
+				if fp {
+					m.trace.counts[cFPLoad]++
+				} else {
+					m.trace.counts[cIntLoad]++
+				}
+			}
 			if ins.Op == OpLdA || ins.Op == OpLdFA {
 				m.ctr.AdvLoads++
-				m.alatInsert(myFrame, ins.Rd, addr)
+				if m.trace != nil {
+					m.trace.ops.append(alatOp{kind: opInsert, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr)})
+				}
+				m.alat.insert(myFrame, ins.Rd, addr)
 			}
 
 		case OpLdC, OpLdFC:
 			addr := int(int64(regs[ins.Rs]))
 			m.ctr.LoadsRetired++
 			m.ctr.CheckLoads++
-			if m.alatCheck(myFrame, ins.Rd, addr) {
+			if m.trace != nil {
+				kind, class := opCheckInt, cCheckInt
+				if ins.Op == OpLdFC {
+					kind, class = opCheckFP, cCheckFP
+				}
+				m.trace.counts[class]++
+				m.trace.ops.append(alatOp{kind: kind, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr)})
+			}
+			if m.alat.check(myFrame, ins.Rd, addr) {
 				// hit: the register already holds the current value
 				lat = int64(m.cfg.CheckHitLat)
 				m.ctr.DataAccessCycles += lat
@@ -441,14 +468,18 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 					lat = int64(m.cfg.IntLoadLat + m.cfg.CheckMissPen)
 				}
 				m.ctr.DataAccessCycles += lat
-				m.alatInsert(myFrame, ins.Rd, addr)
+				m.alat.insert(myFrame, ins.Rd, addr)
 			}
 
 		case OpLdS, OpLdFS, OpLdSA, OpLdFSA:
 			addr := int(int64(regs[ins.Rs]))
 			m.ctr.LoadsRetired++
 			m.ctr.SpecLoads++
-			if !m.validAddr(addr) || nat[ins.Rs] {
+			deferred := !m.validAddr(addr) || nat[ins.Rs]
+			if m.trace != nil {
+				m.trace.bits.append(deferred)
+			}
+			if deferred {
 				// deferred fault: NaT, consumed only on paths where the
 				// original program would have faulted anyway
 				regs[ins.Rd] = 0
@@ -459,7 +490,10 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 				nat[ins.Rd] = false
 				if ins.Op == OpLdSA || ins.Op == OpLdFSA {
 					m.ctr.AdvLoads++
-					m.alatInsert(myFrame, ins.Rd, addr)
+					if m.trace != nil {
+						m.trace.ops.append(alatOp{kind: opInsert, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr)})
+					}
+					m.alat.insert(myFrame, ins.Rd, addr)
 				}
 			}
 			if ins.Op == OpLdFS || ins.Op == OpLdFSA {
@@ -468,14 +502,24 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 				lat = int64(m.cfg.IntLoadLat)
 			}
 			m.ctr.DataAccessCycles += lat
+			if m.trace != nil {
+				if ins.Op == OpLdFS || ins.Op == OpLdFSA {
+					m.trace.counts[cFPLoad]++
+				} else {
+					m.trace.counts[cIntLoad]++
+				}
+			}
 
 		case OpSt, OpStF:
 			addr := int(int64(regs[ins.Rd])) // Rd holds the address register
 			if !m.validAddr(addr) {
 				return 0, false, m.fault("store to invalid address %d in %s", addr, f.Name)
 			}
+			if m.trace != nil {
+				m.trace.ops.append(alatOp{kind: opInval, addr: int64(addr)})
+			}
 			m.mem[addr] = regs[ins.Rs]
-			m.alatInvalidate(addr)
+			m.alat.invalidate(addr)
 			lat = int64(m.cfg.StoreLat)
 			m.ctr.Stores++
 			m.ctr.DataAccessCycles += lat
@@ -504,7 +548,11 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			if m.cfg.Pipelined {
 				m.clock = issueT + 1
 			}
-			if int64(regs[ins.Rs]) == 0 {
+			taken := int64(regs[ins.Rs]) == 0
+			if m.trace != nil {
+				m.trace.bits.append(taken)
+			}
+			if taken {
 				pc = ins.Target
 				continue
 			}
@@ -515,7 +563,11 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			if m.cfg.Pipelined {
 				m.clock = issueT + 1
 			}
-			if int64(regs[ins.Rs]) != 0 {
+			taken := int64(regs[ins.Rs]) != 0
+			if m.trace != nil {
+				m.trace.bits.append(taken)
+			}
+			if taken {
 				pc = ins.Target
 				continue
 			}
@@ -578,6 +630,9 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			return 0, false, nil
 
 		case OpHalt:
+			if m.trace != nil {
+				m.trace.counts[cHalt]++
+			}
 			return 0, false, nil
 
 		default:

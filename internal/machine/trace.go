@@ -1,0 +1,387 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements the recorded architectural trace that splits the
+// simulator into a functional engine and a timing engine. One
+// functional run (Record) captures everything timing depends on but
+// interpretation produces: conditional-branch directions,
+// speculative-load fault bits, the ALAT event stream (advanced-load
+// inserts, check loads, store invalidations — each with its owning
+// activation, register, and address), and per-latency-class retirement
+// counts. A Replay walk (replay.go) then re-times the trace under any
+// Config — serial or pipelined, any latencies, any ALAT size — without
+// a register file or memory image, so an N-config sensitivity sweep
+// costs one functional run plus N cheap re-timings.
+//
+// Under the serial model the re-timing is O(ALAT events), not
+// O(instructions): serial cycles are a linear function of the class
+// counts plus the per-check hit/miss outcomes, so the replayer walks
+// only the (much shorter) ALAT event stream. The pipelined scoreboard
+// genuinely depends on per-instruction operand availability, so that
+// model replays the full instruction walk, driven by the branch bits.
+//
+// The trace deliberately does not record check-load hits or ALAT
+// evictions: both depend on Config.ALATSize, so the replayer
+// re-simulates ALAT contents from the recorded event stream with the
+// same alat implementation the functional engine uses. What makes this
+// sound is a well-formedness obligation on the code (which the code
+// generator upholds and the differential tests check): the register of
+// a check load still holds its advanced load's value when the check
+// executes. Then a check's architectural effect is the same whether it
+// hits or misses — the register ends up equal to memory — and only the
+// timing differs, which is exactly what the replayer recomputes.
+//
+// Streams are append-only and chunked so recording never re-copies a
+// growing flat slice and a finished trace can be shared read-only by
+// any number of concurrent replays.
+
+// bitChunkWords is the size of one bitstream chunk in 64-bit words
+// (32 KiB of bits per chunk).
+const bitChunkWords = 1 << 12
+
+// opChunkLen is the number of ALAT events per chunk.
+const opChunkLen = 1 << 12
+
+// bitChunks is an append-only chunked bitstream.
+type bitChunks struct {
+	chunks [][]uint64
+	n      int64 // bits appended
+}
+
+func (b *bitChunks) append(bit bool) {
+	word := int(b.n >> 6)
+	ci := word / bitChunkWords
+	if ci == len(b.chunks) {
+		b.chunks = append(b.chunks, make([]uint64, bitChunkWords))
+	}
+	if bit {
+		b.chunks[ci][word%bitChunkWords] |= 1 << uint(b.n&63)
+	}
+	b.n++
+}
+
+// bitReader is one replay's private cursor over a bitChunks stream.
+type bitReader struct {
+	t   *bitChunks
+	pos int64
+}
+
+func (r *bitReader) next() (bit, ok bool) {
+	if r.pos >= r.t.n {
+		return false, false
+	}
+	word := int(r.pos >> 6)
+	bit = r.t.chunks[word/bitChunkWords][word%bitChunkWords]&(1<<uint(r.pos&63)) != 0
+	r.pos++
+	return bit, true
+}
+
+// ALAT event kinds, in the recorded stream's program order.
+const (
+	opInsert   uint8 = iota // ld.a / ldf.a / non-deferred ld.sa / ldf.sa
+	opCheckInt              // ld.c
+	opCheckFP               // ldf.c
+	opInval                 // st / stf (conflicting-store invalidation)
+)
+
+// alatOp is one recorded ALAT-relevant event. The owning activation and
+// register are part of the event because ALAT entries are keyed by
+// (frameID, reg): the serial fast path re-simulates table contents under
+// any capacity from these fields alone, never touching the instruction
+// stream.
+type alatOp struct {
+	frameID int64
+	addr    int64
+	reg     int32
+	kind    uint8
+}
+
+// opChunks is an append-only chunked ALAT-event stream.
+type opChunks struct {
+	chunks [][]alatOp
+	n      int64
+}
+
+func (a *opChunks) append(op alatOp) {
+	ci := int(a.n) / opChunkLen
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]alatOp, 0, opChunkLen))
+	}
+	a.chunks[ci] = append(a.chunks[ci], op)
+	a.n++
+}
+
+// opReader is one replay's private cursor over an opChunks stream.
+type opReader struct {
+	t   *opChunks
+	pos int64
+}
+
+func (r *opReader) next() (op alatOp, ok bool) {
+	if r.pos >= r.t.n {
+		return alatOp{}, false
+	}
+	op = r.t.chunks[int(r.pos)/opChunkLen][int(r.pos)%opChunkLen]
+	r.pos++
+	return op, true
+}
+
+// Instruction latency classes counted during recording. Every retired
+// instruction outside these classes has unit latency (cHalt retires for
+// free), so serial cycles are a linear function of the counts and the
+// check outcomes. cSpec/cSpecFault/cAdv are statistics classes that
+// overlap the load classes (a retired ld.sa is both cIntLoad for timing
+// and cSpec/cAdv for the counters).
+const (
+	cMul = iota
+	cDivMod
+	cFPArith
+	cFPDiv
+	cIntLoad // ld, ld.a, ld.s, ld.sa (checks counted separately)
+	cFPLoad  // ldf, ldf.a, ldf.s, ldf.sa
+	cCheckInt
+	cCheckFP
+	cStore
+	cHalt
+	cSpec      // speculative loads retired
+	cSpecFault // deferred speculative faults
+	cAdv       // advanced loads retired (ALAT inserts)
+	cNumClasses
+)
+
+// Trace is the recorded architectural event stream of one (program,
+// input) execution, plus the run's architectural outputs. A finished
+// Trace is immutable and safe for concurrent Replay walks.
+type Trace struct {
+	bits bitChunks // branch directions and spec-load fault bits, in order
+	ops  opChunks  // ALAT events (inserts, checks, invalidations), in order
+
+	// alatMemo caches per-ALATSize event-walk summaries (alatSummary):
+	// the walk's outcome is a pure function of (trace, capacity), so a
+	// latency sweep at a fixed ALAT size pays for one walk. Concurrent
+	// replays may race to fill an entry; they compute the same value.
+	alatMemo sync.Map // int (ALATSize) -> alatSummary
+
+	// counts are per-latency-class retirement counts (the c* constants);
+	// they make serial re-timing independent of the instruction stream's
+	// length.
+	counts [cNumClasses]int64
+
+	// Steps is the dynamic step count of the recorded run (one per
+	// retired instruction); Replay reproduces step-limit faults from it.
+	Steps int64
+	// MaxDepth is the deepest call nesting the run reached.
+	MaxDepth int
+	// Frames is the total number of activations entered (including
+	// main); each is charged Config.CallOverhead.
+	Frames int64
+	// StackSlots is the (normalized) Config.StackSlots the trace was
+	// recorded under. Replay requires an identical value: the stack size
+	// determines concrete addresses, so re-timing under a different
+	// memory layout would not correspond to any direct execution.
+	StackSlots int
+	// Ret and Output are the architectural results of the run.
+	Ret    int64
+	Output string
+}
+
+// Events reports the number of recorded events (bits plus ALAT ops),
+// a size proxy for tests and observability.
+func (t *Trace) Events() int64 { return t.bits.n + t.ops.n }
+
+// Record executes prog functionally under cfg (latency fields are
+// irrelevant; limits and StackSlots are honoured) and returns the
+// architectural trace. A run that faults returns the same error direct
+// execution would, and no trace.
+func Record(prog *Program, args []int64, cfg Config) (*Trace, error) {
+	// timing is recomputed per replay; force the cheap serial model so
+	// recording never pays for the scoreboard
+	cfg = cfg.withDefaults()
+	cfg.Pipelined = false
+	_, tr, err := execute(prog, args, cfg, nil, &Trace{})
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// traceMagic stamps the serialized form; the version is bumped whenever
+// the stream layout or the event set changes (v2 added event kinds,
+// activation/register fields, and the latency-class counts).
+const traceMagic = "reprotrace v2"
+
+// Marshal serializes the trace for spilling through internal/cache
+// (ALAT events are varint-encoded with activation ids delta-coded; the
+// bitstream is stored raw).
+func (t *Trace) Marshal() []byte {
+	buf := make([]byte, 0, 128+len(t.Output)+int(t.bits.n/8)+int(t.ops.n)*5)
+	buf = append(buf, traceMagic...)
+	buf = binary.AppendUvarint(buf, uint64(t.Steps))
+	buf = binary.AppendUvarint(buf, uint64(t.MaxDepth))
+	buf = binary.AppendUvarint(buf, uint64(t.Frames))
+	buf = binary.AppendUvarint(buf, uint64(t.StackSlots))
+	buf = binary.AppendVarint(buf, t.Ret)
+	for _, c := range t.counts {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.Output)))
+	buf = append(buf, t.Output...)
+	buf = binary.AppendUvarint(buf, uint64(t.bits.n))
+	words := int((t.bits.n + 63) / 64)
+	var w8 [8]byte
+	for i := 0; i < words; i++ {
+		binary.LittleEndian.PutUint64(w8[:], t.bits.chunks[i/bitChunkWords][i%bitChunkWords])
+		buf = append(buf, w8[:]...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(t.ops.n))
+	r := opReader{t: &t.ops}
+	var prevFrame int64
+	for {
+		op, ok := r.next()
+		if !ok {
+			break
+		}
+		buf = append(buf, op.kind)
+		buf = binary.AppendUvarint(buf, uint64(op.reg))
+		buf = binary.AppendVarint(buf, op.frameID-prevFrame)
+		prevFrame = op.frameID
+		buf = binary.AppendVarint(buf, op.addr)
+	}
+	return buf
+}
+
+// UnmarshalTrace reverses Marshal. Corrupt input returns an error (the
+// cache layer treats that as a miss and re-records).
+func UnmarshalTrace(data []byte) (*Trace, error) {
+	bad := func(what string) (*Trace, error) {
+		return nil, fmt.Errorf("machine: corrupt trace: %s", what)
+	}
+	if len(data) < len(traceMagic) || string(data[:len(traceMagic)]) != traceMagic {
+		return bad("bad magic")
+	}
+	data = data[len(traceMagic):]
+	uvar := func() (uint64, bool) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, false
+		}
+		data = data[n:]
+		return v, true
+	}
+	ivar := func() (int64, bool) {
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return 0, false
+		}
+		data = data[n:]
+		return v, true
+	}
+	t := &Trace{}
+	hdr := []struct {
+		what string
+		dst  func(uint64)
+	}{
+		{"steps", func(v uint64) { t.Steps = int64(v) }},
+		{"depth", func(v uint64) { t.MaxDepth = int(v) }},
+		{"frames", func(v uint64) { t.Frames = int64(v) }},
+		{"stack slots", func(v uint64) { t.StackSlots = int(v) }},
+	}
+	for _, f := range hdr {
+		v, ok := uvar()
+		if !ok {
+			return bad(f.what)
+		}
+		f.dst(v)
+	}
+	ret, ok := ivar()
+	if !ok {
+		return bad("ret")
+	}
+	t.Ret = ret
+	for i := range t.counts {
+		v, ok := uvar()
+		if !ok {
+			return bad("class counts")
+		}
+		t.counts[i] = int64(v)
+	}
+	outLen, ok := uvar()
+	if !ok || uint64(len(data)) < outLen {
+		return bad("output")
+	}
+	t.Output = string(data[:outLen])
+	data = data[outLen:]
+	nbits, ok := uvar()
+	if !ok {
+		return bad("bit count")
+	}
+	words := int((nbits + 63) / 64)
+	if len(data) < words*8 {
+		return bad("bit words")
+	}
+	t.bits.n = int64(nbits)
+	for i := 0; i < words; i++ {
+		if i%bitChunkWords == 0 {
+			t.bits.chunks = append(t.bits.chunks, make([]uint64, bitChunkWords))
+		}
+		t.bits.chunks[i/bitChunkWords][i%bitChunkWords] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	data = data[words*8:]
+	nops, ok := uvar()
+	if !ok {
+		return bad("op count")
+	}
+	var prevFrame int64
+	for i := uint64(0); i < nops; i++ {
+		if len(data) == 0 {
+			return bad("op kind")
+		}
+		kind := data[0]
+		if kind > opInval {
+			return bad("op kind")
+		}
+		data = data[1:]
+		reg, ok := uvar()
+		if !ok {
+			return bad("op reg")
+		}
+		dframe, ok := ivar()
+		if !ok {
+			return bad("op frame")
+		}
+		prevFrame += dframe
+		addr, ok := ivar()
+		if !ok {
+			return bad("op addr")
+		}
+		t.ops.append(alatOp{kind: kind, reg: int32(reg), frameID: prevFrame, addr: addr})
+	}
+	return t, nil
+}
+
+// Fingerprint is a content hash of the compiled program (code, global
+// layout, and initial data), suitable for keying recorded traces: two
+// programs with equal fingerprints execute identically on equal inputs.
+func (p *Program) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "globsize %d\n", p.GlobSize)
+	addrs := make([]int, 0, len(p.GlobalInit))
+	for a := range p.GlobalInit {
+		addrs = append(addrs, a)
+	}
+	sort.Ints(addrs)
+	for _, a := range addrs {
+		fmt.Fprintf(h, "init %d %d\n", a, p.GlobalInit[a])
+	}
+	h.Write([]byte(p.String()))
+	var fp [sha256.Size]byte
+	h.Sum(fp[:0])
+	return fp
+}

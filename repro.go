@@ -17,7 +17,9 @@ package repro
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/alias"
@@ -136,6 +138,9 @@ type Compilation struct {
 	// profile-guided measurements are meaningless under it, so the
 	// experiments treat a non-nil ProfileErr as fatal.
 	ProfileErr error
+
+	fpOnce sync.Once
+	fp     [32]byte // lazily computed Code fingerprint for trace keying
 }
 
 // The compilation cache (internal/cache): the in-memory tier memoizes
@@ -358,9 +363,125 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 	return c, nil
 }
 
-// Run executes the compiled program on the EPIC VM.
+// The machine-trace path: one functional machine.Record per (program
+// fingerprint, args, resource limits) captures the architectural event
+// stream, and every timing measurement becomes a cheap machine.Replay
+// walk. Latencies, ALATSize and Pipelined are deliberately absent from
+// the key — re-timing under them is exactly what replay is for, so a
+// whole sensitivity sweep shares one recorded trace. Resource limits
+// (MaxSteps, MaxCallDepth) and StackSlots are in the key because they
+// change what the run does: a smaller limit faults, and the cache
+// memoizes errors, so excluding them would poison larger-limit callers;
+// StackSlots additionally shifts concrete addresses (Replay refuses a
+// mismatch outright). Traces ride the same two-tier cache as profiles:
+// the decoded *machine.Trace lives in the memory tier, its serialized
+// form spills to the on-disk tier when SetCacheDir is active.
+
+var traceDisabled atomic.Bool
+
+// SetTraceEnabled turns the record-and-replay machine path off or back
+// on (default on). With tracing off every Run and Evaluate executes the
+// VM directly — the oracle the replay path is differentially tested
+// against, and the `-no-trace` escape hatch.
+func SetTraceEnabled(on bool) { traceDisabled.Store(!on) }
+
+// TraceEnabled reports whether the record-and-replay path is active.
+func TraceEnabled() bool { return !traceDisabled.Load() }
+
+// traceCacheVersion stamps trace cache keys; bump it whenever the
+// trace format or the recorded event set changes.
+const traceCacheVersion = 2
+
+// fingerprint returns the compiled program's content hash, computed
+// once per Compilation.
+func (c *Compilation) fingerprint() [32]byte {
+	c.fpOnce.Do(func() { c.fp = c.Code.Fingerprint() })
+	return c.fp
+}
+
+// traceFor returns the recorded architectural trace for (c.Code, args)
+// under mcfg's memory layout and resource limits, recording it on the
+// first request. A run that faults yields the same error direct
+// execution would (memoized like any other cache entry — sound because
+// the limits are part of the key).
+func (c *Compilation) traceFor(args []int64, mcfg machine.Config) (*machine.Trace, error) {
+	n := mcfg.Normalized()
+	fp := c.fingerprint()
+	argb := make([]byte, 8*len(args))
+	for i, a := range args {
+		binary.LittleEndian.PutUint64(argb[i*8:], uint64(a))
+	}
+	lim := fmt.Sprintf("v%d slots=%d steps=%d depth=%d",
+		traceCacheVersion, n.StackSlots, n.MaxSteps, n.MaxCallDepth)
+	key := cache.KeyOf([]byte("trace"), fp[:], argb, []byte(lim))
+	v, err := compCache.GetObject(key, func() (any, error) {
+		data, err := compCache.GetBytes(cache.KeyOf([]byte("tracebytes"), fp[:], argb, []byte(lim)),
+			func() ([]byte, error) {
+				tr, err := machine.Record(c.Code, args, n)
+				if err != nil {
+					return nil, err
+				}
+				return tr.Marshal(), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return machine.UnmarshalTrace(data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*machine.Trace), nil
+}
+
+// runMachine executes the compiled program under mcfg, through the
+// record-and-replay path when enabled (with direct execution as the
+// fallback), directly otherwise.
+func (c *Compilation) runMachine(args []int64, mcfg machine.Config) (*machine.Result, error) {
+	if TraceEnabled() {
+		tr, err := c.traceFor(args, mcfg)
+		if err != nil {
+			// the recording run faulted: this is the same error direct
+			// execution under these limits would produce
+			return nil, err
+		}
+		res, err := machine.Replay(c.Code, tr, mcfg, nil)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, machine.ErrTraceMismatch) {
+			return nil, err
+		}
+		// layout mismatch (cannot happen via this key, but stay safe)
+	}
+	return machine.Run(c.Code, args, mcfg, nil)
+}
+
+// Run executes the compiled program on the EPIC VM (via the trace
+// replay path when enabled; see SetTraceEnabled).
 func (c *Compilation) Run(args []int64) (*machine.Result, error) {
-	return machine.Run(c.Code, args, c.Config.Machine, nil)
+	return c.runMachine(args, c.Config.Machine)
+}
+
+// Evaluate re-times the compiled program on args under every machine
+// configuration in cfgs — the paper's §5 sensitivity-style sweeps. With
+// tracing enabled the program executes functionally once per distinct
+// (args, limits, layout) key and each Config costs only a trace walk;
+// replays fan out across workers sharing the recorded trace read-only.
+// Results are index-aligned with cfgs.
+func (c *Compilation) Evaluate(args []int64, cfgs []machine.Config, workers int) ([]*machine.Result, error) {
+	results := make([]*machine.Result, len(cfgs))
+	if err := par.Each(workers, len(cfgs), func(i int) error {
+		res, err := c.runMachine(args, cfgs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // RunReference interprets the unoptimized IR (the semantic oracle).
@@ -401,6 +522,17 @@ func Reference(src string, args []int64) (*interp.Result, error) {
 // equivalence classes and repeats of the same (class, address, value) are
 // counted as potential speculative reuses.
 func ReuseLimit(src string, args []int64) (*interp.ReuseSim, error) {
+	return ReuseLimitWorkers(src, args, 1)
+}
+
+// ReuseLimitWorkers is ReuseLimit with the simulation sharded by
+// equivalence class across workers: one interpreter run records the
+// dynamic memory-access stream, then the reuse walk partitions it per
+// class shard (the state is keyed by (class, address), so shards are
+// independent and the merged totals match the serial walk exactly).
+// workers <= 1 runs the simulation inline during interpretation — the
+// historical serial path and the equivalence oracle.
+func ReuseLimitWorkers(src string, args []int64, workers int) (*interp.ReuseSim, error) {
 	prog, err := frontend(src)
 	if err != nil {
 		return nil, err
@@ -416,11 +548,18 @@ func ReuseLimit(src string, args []int64) (*interp.ReuseSim, error) {
 		}
 		classes[site] = id
 	}
-	sim := interp.NewReuseSim(classes)
-	if _, err := interp.Run(prog, interp.Options{Args: args, Reuse: sim}); err != nil {
+	if par.Workers(workers) <= 1 {
+		sim := interp.NewReuseSim(classes)
+		if _, err := interp.Run(prog, interp.Options{Args: args, Reuse: sim}); err != nil {
+			return nil, err
+		}
+		return sim, nil
+	}
+	tr := &interp.MemTrace{}
+	if _, err := interp.Run(prog, interp.Options{Args: args, MemTrace: tr}); err != nil {
 		return nil, err
 	}
-	return sim, nil
+	return interp.ShardedReuse(classes, tr, workers), nil
 }
 
 // PipelinedMachine returns the default machine model with the pipelined
