@@ -23,24 +23,25 @@ import (
 
 	"repro"
 	"repro/internal/alias"
+	"repro/internal/cli"
 	"repro/internal/ir"
 	"repro/internal/profile"
 	"repro/internal/source"
 )
 
-func main() {
+func main() { cli.Main("aliasprof", run) }
+
+func run() error {
 	progArgs := flag.String("args", "", "comma-separated program input (arg(i) values)")
 	outFile := flag.String("o", "", "write the serialized profile (JSON) to this file")
 	cacheDir := flag.String("cache-dir", "", "reuse/persist profiles under this directory across runs")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: aliasprof [-args ...] file.mc")
-		os.Exit(2)
+		return cli.Usagef("usage: aliasprof [-args ...] file.mc")
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aliasprof:", err)
-		os.Exit(1)
+		return err
 	}
 	src := string(srcBytes)
 	var args []int64
@@ -48,16 +49,14 @@ func main() {
 		for _, part := range strings.Split(*progArgs, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "aliasprof: bad -args:", err)
-				os.Exit(2)
+				return cli.Usagef("bad -args: %v", err)
 			}
 			args = append(args, v)
 		}
 	}
 	if *cacheDir != "" {
 		if err := repro.SetCacheDir(*cacheDir); err != nil {
-			fmt.Fprintln(os.Stderr, "aliasprof:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -65,13 +64,11 @@ func main() {
 	// what Compile consumes via Config.ProfileJSON
 	data, err := repro.CollectProfile(src, args)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aliasprof: run:", err)
-		os.Exit(1)
+		return fmt.Errorf("run: %w", err)
 	}
 	if *outFile != "" {
 		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "aliasprof:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -79,19 +76,16 @@ func main() {
 	// resolve site ids and block names for printing
 	file, err := source.Parse(src)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aliasprof:", err)
-		os.Exit(1)
+		return err
 	}
 	prog, err := source.Lower(file)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aliasprof:", err)
-		os.Exit(1)
+		return err
 	}
 	alias.Refine(prog)
 	prof, err := profile.Unmarshal(prog, data)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aliasprof:", err)
-		os.Exit(1)
+		return err
 	}
 
 	keys := ir.SiteSyntaxKeys(prog)
@@ -145,4 +139,5 @@ func main() {
 		}
 		fmt.Printf("  %s B%d: %d\n", h.fn, h.id, h.count)
 	}
+	return nil
 }

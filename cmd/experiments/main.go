@@ -6,7 +6,12 @@
 //
 //	experiments                 # everything
 //	experiments -exp fig10      # one table: smvp|fig10|fig11|fig12|heur|ablation|machine
+//	experiments -exp eval -workload equake -json
+//	                            # one (workload, config) point as JSON —
+//	                            # byte-identical to specd's POST /evaluate
 //	experiments -cache-dir DIR  # persist profiles; warm runs skip profiling
+//	experiments -cache-max-bytes N
+//	                            # prune the disk cache to N bytes before exit
 //	experiments -workers 1      # serial oracle (output is identical)
 //	experiments -no-trace       # direct VM execution (skip record-and-replay)
 //	experiments -cpuprofile f   # write a pprof CPU profile to f
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,14 +32,21 @@ import (
 	"runtime/pprof"
 
 	"repro"
+	"repro/internal/cache"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/workloads"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine")
+func main() { cli.Main("experiments", run) }
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|eval")
+	workload := flag.String("workload", "equake", "workload for -exp eval")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of a table (-exp eval only)")
 	workers := flag.Int("workers", 0, "max concurrent compilations (0 = all cores, 1 = serial oracle)")
 	cacheDir := flag.String("cache-dir", "", "persist profiles/compilation artifacts under this directory across runs")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "prune the disk cache to this many bytes before exit (0 = unbounded)")
 	cacheStats := flag.Bool("cache-stats", false, "print compilation-cache hit/miss counters to stderr when done")
 	noTrace := flag.Bool("no-trace", false, "execute the VM directly instead of the record-and-replay trace path")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -42,24 +55,19 @@ func main() {
 
 	if *cacheDir != "" {
 		if err := repro.SetCacheDir(*cacheDir); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	if *noTrace {
 		repro.SetTraceEnabled(false)
 	}
-	// profiles are finalized explicitly (not deferred) because the error
-	// paths below leave through os.Exit
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -109,9 +117,13 @@ func main() {
 			experiments.PrintMachineSweep(os.Stdout, name, points)
 			fmt.Println()
 		}
+	case "eval":
+		// one (workload, config) point through the same code path specd's
+		// POST /evaluate uses; with -json the bytes match the service's
+		// response exactly (the CI smoke job diffs them)
+		err = evalOne(*workload, *workers, *jsonOut)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		err = cli.Usagef("unknown experiment %q", *exp)
 	}
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -124,10 +136,35 @@ func main() {
 	if *cacheStats {
 		fmt.Fprintln(os.Stderr, "cache:", repro.CacheStats(), "| profiling runs:", repro.ProfilingRuns())
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if err == nil && *cacheDir != "" && *cacheMaxBytes > 0 {
+		if _, perr := cache.Prune(*cacheDir, *cacheMaxBytes); perr != nil {
+			return perr
+		}
 	}
+	return err
+}
+
+// evalOne runs a single (workload, default profile-guided config)
+// evaluation and renders it as JSON or a short table.
+func evalOne(name string, workers int, jsonOut bool) error {
+	res, err := experiments.RunEvalCtx(context.Background(), experiments.EvalRequest{
+		Workload: name, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		data, err := experiments.MarshalEval(res)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	c := res.Result.Counters
+	fmt.Printf("%s: cycles=%d loads=%d checks=%d failed=%d data-cycles=%d\n",
+		res.Workload, c.Cycles, c.LoadsRetired, c.CheckLoads, c.FailedChecks, c.DataAccessCycles)
+	return nil
 }
 
 // writeMemProfile snapshots the heap after a GC (so the profile shows

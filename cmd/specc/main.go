@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/machine"
 )
 
@@ -41,11 +42,13 @@ func parseArgs(s string) ([]int64, error) {
 	return out, nil
 }
 
-func main() {
+func main() { cli.Main("specc", run) }
+
+func run() error {
 	spec := flag.String("spec", "profile", "data speculation: off|profile|heuristic")
 	o0 := flag.Bool("O0", false, "disable optimization")
 	train := flag.String("train", "", "comma-separated training input for profiling")
-	run := flag.Bool("run", true, "run the program after compiling")
+	doRun := flag.Bool("run", true, "run the program after compiling")
 	dumpIR := flag.Bool("dump-ir", false, "print optimized IR")
 	dumpAsm := flag.Bool("dump-asm", false, "print VM code")
 	stats := flag.Bool("stats", false, "print optimizer statistics")
@@ -56,14 +59,12 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: specc [flags] file.mc")
 		flag.Usage()
-		os.Exit(2)
+		return cli.Usagef("expected exactly one source file")
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "specc:", err)
-		os.Exit(1)
+		return err
 	}
 
 	cfg := repro.Config{OptimizeOff: *o0}
@@ -75,19 +76,16 @@ func main() {
 	case "heuristic":
 		cfg.Spec = repro.SpecHeuristic
 	default:
-		fmt.Fprintf(os.Stderr, "specc: unknown -spec %q\n", *spec)
-		os.Exit(2)
+		return cli.Usagef("unknown -spec %q", *spec)
 	}
 	cfg.ProfileArgs, err = parseArgs(*train)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "specc: bad -train:", err)
-		os.Exit(2)
+		return cli.Usagef("bad -train: %v", err)
 	}
 	if *profileFile != "" {
 		data, err := os.ReadFile(*profileFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "specc:", err)
-			os.Exit(1)
+			return err
 		}
 		cfg.ProfileJSON = data
 	}
@@ -98,14 +96,12 @@ func main() {
 	}
 	args, err := parseArgs(*progArgs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "specc: bad -args:", err)
-		os.Exit(2)
+		return cli.Usagef("bad -args: %v", err)
 	}
 
 	c, err := repro.Compile(string(src), cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "specc:", err)
-		os.Exit(1)
+		return err
 	}
 	if *stats {
 		t := c.TotalStats()
@@ -119,18 +115,18 @@ func main() {
 	if *dumpAsm {
 		fmt.Print(c.Code)
 	}
-	if !*run {
-		return
+	if !*doRun {
+		return nil
 	}
 	res, err := c.Run(args)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "specc: run:", err)
-		os.Exit(1)
+		return fmt.Errorf("run: %w", err)
 	}
 	fmt.Print(res.Output)
 	ctr := res.Counters
 	fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d loads=%d (checks=%d failed=%d adv=%d spec=%d) stores=%d data-cycles=%d\n",
 		ctr.Cycles, ctr.InstrsRetired, ctr.LoadsRetired, ctr.CheckLoads,
 		ctr.FailedChecks, ctr.AdvLoads, ctr.SpecLoads, ctr.Stores, ctr.DataAccessCycles)
-	os.Exit(int(res.Ret))
+	// the compiled program's own return value is the exit code
+	return cli.Exit(int(res.Ret))
 }

@@ -23,13 +23,18 @@ package cache
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 )
 
 // Version stamps the on-disk layout. Entries are stored under a
@@ -213,31 +218,107 @@ func (c *Cache) countCompute() {
 	c.mu.Unlock()
 }
 
+// errAbandoned marks an entry whose owner exited without a result (a
+// compute panic). It wraps context.Canceled so waiters treat it like an
+// owner cancellation: retry the lookup instead of surfacing it.
+var errAbandoned = fmt.Errorf("cache: computation abandoned: %w", context.Canceled)
+
+// isCtxErr reports whether err is a context cancellation or deadline —
+// the one class of compute error that must never be memoized: it
+// describes the caller that happened to own the computation, not the
+// computation itself, and caching it would poison the key for every
+// future caller with a live context.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// forget removes an abandoned in-flight entry so a later lookup
+// recomputes instead of observing another caller's context error.
+func (c *Cache) forget(key Key, e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.mem[key]; ok && cur == e {
+		delete(c.mem, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
 // GetBytes returns the byte value for key, computing it at most once
 // per key per process and, when the disk tier is on, at most once per
 // key per cache directory. Errors are memoized in memory (the pipeline
 // computations are deterministic) but never persisted. Callers must not
 // mutate the returned slice.
 func (c *Cache) GetBytes(key Key, compute func() ([]byte, error)) ([]byte, error) {
+	return c.GetBytesCtx(context.Background(), key, compute)
+}
+
+// GetBytesCtx is GetBytes with cancellation: a caller waiting on
+// another caller's in-flight computation (the singleflight path)
+// returns ctx.Err() as soon as ctx is done instead of blocking until
+// the owner finishes. The owner itself always completes its compute —
+// the result is cached for every other caller, so abandoning it would
+// only duplicate work — but if the compute surfaces a context error
+// (a nested ctx-aware lookup, or a compute closure that honors its
+// caller's ctx), that error is forgotten, not memoized, and waiters
+// with a live context retry the lookup.
+func (c *Cache) GetBytesCtx(ctx context.Context, key Key, compute func() ([]byte, error)) ([]byte, error) {
 	if c.isDisabled() {
 		c.countCompute()
 		return compute()
 	}
-	e, owner, dir := c.lookupOrClaim(key)
-	if !owner {
-		<-e.ready
-		return e.data, e.err
+	for {
+		e, owner, dir := c.lookupOrClaim(key)
+		if !owner {
+			select {
+			case <-e.ready:
+				if isCtxErr(e.err) {
+					// the owner was cancelled mid-compute; its error is
+					// not ours — retry unless we are cancelled too
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				return e.data, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return c.fillBytes(e, key, dir, compute)
 	}
-	defer close(e.ready)
+}
+
+// fillBytes runs the owner's side of a GetBytesCtx miss. e.ready is
+// closed on every exit, including a compute panic (the entry is then
+// forgotten so waiters retry rather than observe a half-filled entry,
+// and the panic propagates to the owner).
+func (c *Cache) fillBytes(e *entry, key Key, dir string, compute func() ([]byte, error)) ([]byte, error) {
+	completed := false
+	defer func() {
+		if !completed {
+			e.err = errAbandoned
+			c.forget(key, e)
+		}
+		close(e.ready)
+	}()
 	if dir != "" {
 		if data, ok := c.diskLoad(dir, key); ok {
 			e.data = data
+			completed = true
 			return data, nil
 		}
 	}
 	c.countCompute()
 	e.data, e.err = compute()
-	if e.err == nil && dir != "" {
+	completed = true
+	if isCtxErr(e.err) {
+		c.forget(key, e)
+	} else if e.err == nil && dir != "" {
 		c.diskStore(dir, key, e.data)
 	}
 	return e.data, e.err
@@ -247,18 +328,53 @@ func (c *Cache) GetBytes(key Key, compute func() ([]byte, error)) ([]byte, error
 // not serialized (frontend IR masters). The returned object is shared —
 // callers must treat it as immutable (clone before mutating).
 func (c *Cache) GetObject(key Key, compute func() (any, error)) (any, error) {
+	return c.GetObjectCtx(context.Background(), key, compute)
+}
+
+// GetObjectCtx is GetObject with cancellation, under the same contract
+// as GetBytesCtx: waiters honor ctx, owners complete, context errors
+// are never memoized.
+func (c *Cache) GetObjectCtx(ctx context.Context, key Key, compute func() (any, error)) (any, error) {
 	if c.isDisabled() {
 		c.countCompute()
 		return compute()
 	}
-	e, owner, _ := c.lookupOrClaim(key)
-	if !owner {
-		<-e.ready
-		return e.obj, e.err
+	for {
+		e, owner, _ := c.lookupOrClaim(key)
+		if !owner {
+			select {
+			case <-e.ready:
+				if isCtxErr(e.err) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				return e.obj, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return c.fillObject(e, key, compute)
 	}
-	defer close(e.ready)
+}
+
+// fillObject is fillBytes for the memory-only object tier.
+func (c *Cache) fillObject(e *entry, key Key, compute func() (any, error)) (any, error) {
+	completed := false
+	defer func() {
+		if !completed {
+			e.err = errAbandoned
+			c.forget(key, e)
+		}
+		close(e.ready)
+	}()
 	c.countCompute()
 	e.obj, e.err = compute()
+	completed = true
+	if isCtxErr(e.err) {
+		c.forget(key, e)
+	}
 	return e.obj, e.err
 }
 
@@ -313,6 +429,83 @@ func verifyEntry(raw []byte) ([]byte, bool) {
 		return nil, false
 	}
 	return payload, true
+}
+
+// pruneTmpAge is how old a tmp-* file must be before Prune treats it as
+// a leftover from a crashed writer rather than a concurrent store in
+// progress.
+const pruneTmpAge = 10 * time.Minute
+
+// Prune bounds the on-disk tier under dir (the user-facing cache
+// directory, spanning every versioned subdirectory) to at most maxBytes
+// of entry payloads, deleting oldest-mtime-first — the disk tier
+// otherwise grows without limit. Stale tmp files from crashed writers
+// are removed regardless of the budget once they are clearly abandoned.
+// Deletion is safe against concurrent readers and writers by the tier's
+// own contract: a reader that loses the race sees a miss and
+// recomputes; writers go through temp-file + rename and never observe a
+// partial entry. maxBytes <= 0 keeps every entry (only stale tmp files
+// go). Returns the number of bytes freed.
+func Prune(dir string, maxBytes int64) (int64, error) {
+	type file struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []file
+	var total, freed int64
+	now := time.Now()
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// a file deleted by a concurrent pruner is not an error
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		name := d.Name()
+		switch {
+		case len(name) > 4 && filepath.Ext(name) == ".cache":
+			entries = append(entries, file{path, info.Size(), info.ModTime()})
+			total += info.Size()
+		case len(name) > 4 && name[:4] == "tmp-":
+			if now.Sub(info.ModTime()) > pruneTmpAge {
+				if os.Remove(path) == nil {
+					freed += info.Size()
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return freed, fmt.Errorf("cache: prune: %w", err)
+	}
+	if maxBytes <= 0 || total <= maxBytes {
+		return freed, nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, f := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			freed += f.size
+		}
+	}
+	return freed, nil
 }
 
 // diskStore persists an entry, best-effort: a full disk or unwritable

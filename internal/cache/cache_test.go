@@ -2,12 +2,14 @@ package cache
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func keyN(n int) Key { return KeyOf([]byte(fmt.Sprintf("key-%d", n))) }
@@ -307,4 +309,271 @@ func TestConcurrentMixed(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestSharedDirTwoInstancesConcurrent simulates two specd replicas (two
+// Cache instances) sharing one -cache-dir concurrently: no corruption,
+// the temp-file+rename contract holds (every read sees a complete,
+// checksummed entry or a miss — never a partial write), and both see
+// warm hits for entries the other persisted.
+func TestSharedDirTwoInstancesConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	a, b := New(0), New(0)
+	if err := a.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	const keys = 32
+	const goroutines = 8
+	value := func(n int) []byte {
+		return bytes.Repeat([]byte{byte(n)}, 1024+n)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*goroutines*keys)
+	for _, c := range []*Cache{a, b} {
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(c *Cache) {
+				defer wg.Done()
+				for n := 0; n < keys; n++ {
+					got, err := c.GetBytes(keyN(n), func() ([]byte, error) {
+						return value(n), nil
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(got, value(n)) {
+						errs <- fmt.Errorf("key %d: wrong bytes (len %d)", n, len(got))
+						return
+					}
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// nothing was discarded as corrupt on either instance
+	if sa, sb := a.Stats(), b.Stats(); sa.Corrupt != 0 || sb.Corrupt != 0 {
+		t.Fatalf("corrupt entries seen: a=%d b=%d", sa.Corrupt, sb.Corrupt)
+	}
+	// a third, cold instance warm-starts purely from the shared dir
+	c3 := New(0)
+	if err := c3.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < keys; n++ {
+		got, err := c3.GetBytes(keyN(n), func() ([]byte, error) {
+			return nil, errors.New("must not recompute: entry should be on disk")
+		})
+		if err != nil || !bytes.Equal(got, value(n)) {
+			t.Fatalf("warm start key %d: %v", n, err)
+		}
+	}
+	if s := c3.Stats(); s.DiskHits != keys || s.Computes != 0 {
+		t.Fatalf("cold instance stats = %+v, want %d disk hits and 0 computes", s, keys)
+	}
+}
+
+func TestPruneOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// three 1KiB-payload entries with distinct mtimes, oldest first
+	var paths []string
+	for n := 0; n < 3; n++ {
+		if _, err := c.GetBytes(keyN(n), func() ([]byte, error) {
+			return bytes.Repeat([]byte{byte(n)}, 1024), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		p := c.diskPath(c.Dir(), keyN(n))
+		mtime := time.Now().Add(time.Duration(n-3) * time.Hour)
+		if err := os.Chtimes(p, mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	var total int64
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	// budget for exactly two entries: the oldest one must go
+	budget := total - 1
+	freed, err := Prune(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Fatal("Prune freed nothing")
+	}
+	if _, err := os.Stat(paths[0]); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("oldest entry survived: %v", err)
+	}
+	for _, p := range paths[1:] {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("newer entry pruned: %v", err)
+		}
+	}
+	// within budget: nothing further to do
+	if freed, err := Prune(dir, budget); err != nil || freed != 0 {
+		t.Fatalf("second prune freed %d (%v), want 0", freed, err)
+	}
+	// pruned entries recompute transparently on the next lookup
+	c2 := New(0)
+	if err := c2.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.GetBytes(keyN(0), func() ([]byte, error) {
+		return []byte("recomputed"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneRemovesStaleTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(c.Dir(), "tmp-stale")
+	fresh := filepath.Join(c.Dir(), "tmp-fresh")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prune(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale tmp file survived Prune")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh tmp file (a concurrent write in progress) must survive Prune")
+	}
+}
+
+// TestCtxWaiterCancelled proves singleflight waiters honor their
+// context: a waiter blocked on another caller's slow computation
+// returns ctx.Err() promptly instead of blocking until the owner
+// finishes.
+func TestCtxWaiterCancelled(t *testing.T) {
+	c := New(0)
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.GetBytes(keyN(1), func() ([]byte, error) {
+			close(computing)
+			<-release
+			return []byte("slow"), nil
+		})
+	}()
+	<-computing
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetBytesCtx(ctx, keyN(1), func() ([]byte, error) {
+			return nil, errors.New("waiter must not compute")
+		})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	close(release)
+	// the owner's value is memoized normally
+	v, err := c.GetBytes(keyN(1), func() ([]byte, error) {
+		return nil, errors.New("must be memoized")
+	})
+	if err != nil || string(v) != "slow" {
+		t.Fatalf("after release: %q, %v", v, err)
+	}
+}
+
+// TestCtxErrorNotMemoized proves an owner whose compute surfaces a
+// context error does not poison the key: the entry is forgotten and the
+// next caller recomputes.
+func TestCtxErrorNotMemoized(t *testing.T) {
+	c := New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.GetBytesCtx(context.Background(), keyN(1), func() ([]byte, error) {
+		// a nested ctx-aware computation bubbling up its caller's
+		// cancellation
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	v, err := c.GetBytes(keyN(1), func() ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	if err != nil || string(v) != "fresh" {
+		t.Fatalf("recompute after ctx error: %q, %v", v, err)
+	}
+	// real errors stay memoized (the existing contract)
+	boom := errors.New("boom")
+	c.GetBytes(keyN(2), func() ([]byte, error) { return nil, boom })
+	_, err = c.GetBytes(keyN(2), func() ([]byte, error) {
+		return nil, errors.New("must not recompute")
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("memoized error = %v, want boom", err)
+	}
+}
+
+// TestPanicDoesNotDeadlockWaiters proves a panicking compute releases
+// its waiters (they retry and become owners) instead of leaving them
+// blocked on a never-closed ready channel.
+func TestPanicDoesNotDeadlockWaiters(t *testing.T) {
+	c := New(0)
+	started := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.GetBytes(keyN(1), func() ([]byte, error) {
+			close(started)
+			// give the waiter time to block on ready
+			time.Sleep(50 * time.Millisecond)
+			panic("compute exploded")
+		})
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.GetBytes(keyN(1), func() ([]byte, error) {
+			return []byte("recovered"), nil
+		})
+		if err != nil || string(v) != "recovered" {
+			t.Errorf("waiter after panic: %q, %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter deadlocked behind a panicking owner")
+	}
 }

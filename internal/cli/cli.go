@@ -1,0 +1,79 @@
+// Package cli is the shared entry-point contract of the repo's command
+// line tools (specc, aliasprof, experiments, specd). Each tool's main
+// is one line — cli.Main(name, run) — and run returns an error instead
+// of hand-rolling os.Exit ladders, so exit codes and stderr formatting
+// are consistent across every tool:
+//
+//   - nil: exit 0;
+//   - a UsageError (flag or argument misuse): "<name>: <msg>" on
+//     stderr, exit 2 — matching the flag package's own parse failures;
+//   - an ExitError: exit with its code, printing only if it carries a
+//     message (a compiled program's own return value exits silently);
+//   - anything else: "<name>: <err>" on stderr, exit 1.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// UsageError marks command-line misuse (unknown enum value, wrong
+// argument count); Main exits 2 for it.
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// ExitError carries an explicit exit code. A nil Err exits silently —
+// the vehicle for forwarding a program's own return value (specc).
+type ExitError struct {
+	Code int
+	Err  error
+}
+
+func (e *ExitError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("exit %d", e.Code)
+	}
+	return e.Err.Error()
+}
+func (e *ExitError) Unwrap() error { return e.Err }
+
+// Exit returns an ExitError with the given code and no message, or nil
+// when code is 0 (so `return cli.Exit(int(ret))` does the right thing
+// for a zero return value).
+func Exit(code int) error {
+	if code == 0 {
+		return nil
+	}
+	return &ExitError{Code: code}
+}
+
+// Main runs run and exits the process according to the error contract
+// above. It never returns.
+func Main(name string, run func() error) {
+	err := run()
+	if err == nil {
+		os.Exit(0)
+	}
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, ue.Err)
+		os.Exit(2)
+	}
+	var ee *ExitError
+	if errors.As(err, &ee) {
+		if ee.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, ee.Err)
+		}
+		os.Exit(ee.Code)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	os.Exit(1)
+}

@@ -16,6 +16,8 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -23,6 +25,7 @@ import (
 	"repro"
 	"repro/internal/machine"
 	"repro/internal/par"
+	"repro/internal/ssapre"
 	"repro/internal/workloads"
 )
 
@@ -34,11 +37,11 @@ func plainLoads(r *machine.Result) int64 {
 	return r.Counters.LoadsRetired - r.Counters.CheckLoads
 }
 
-// compile wraps repro.Compile and fails loudly when the training run
+// compile wraps repro.CompileCtx and fails loudly when the training run
 // faulted: a silent StaticEstimate fallback would skew every
 // profile-guided number in the tables while looking plausible.
-func compile(src string, cfg repro.Config) (*repro.Compilation, error) {
-	c, err := repro.Compile(src, cfg)
+func compile(ctx context.Context, src string, cfg repro.Config) (*repro.Compilation, error) {
+	c, err := repro.CompileCtx(ctx, src, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +133,16 @@ func RunAll() ([]Row, error) {
 // threaded into each workload's config sweep and from there into every
 // compilation, so workers=1 reproduces the fully serial engine.
 func RunAllWorkers(workers int) ([]Row, error) {
+	return RunAllCtx(context.Background(), workers)
+}
+
+// RunAllCtx is RunAllWorkers with cancellation threaded through the
+// workload fan-out and every compilation under it.
+func RunAllCtx(ctx context.Context, workers int) ([]Row, error) {
 	ws := workloads.All()
 	rows := make([]Row, len(ws))
-	err := par.Each(workers, len(ws), func(i int) error {
-		row, err := RunOneWorkers(ws[i], workers)
+	err := par.EachCtx(ctx, workers, len(ws), func(i int) error {
+		row, err := RunOneCtx(ctx, ws[i], workers)
 		if err != nil {
 			return fmt.Errorf("%s: %w", ws[i].Name, err)
 		}
@@ -157,6 +166,12 @@ func RunOne(w workloads.Workload) (Row, error) {
 // source, so all of them after the first hit the frontend compilation
 // cache and pay only for their own optimization pipeline.
 func RunOneWorkers(w workloads.Workload, workers int) (Row, error) {
+	return RunOneCtx(context.Background(), w, workers)
+}
+
+// RunOneCtx is RunOneWorkers with cancellation threaded through the
+// variant fan-out, each compilation, and each run.
+func RunOneCtx(ctx context.Context, w workloads.Workload, workers int) (Row, error) {
 	row := Row{Name: w.Name}
 
 	variants := []repro.Config{
@@ -169,11 +184,11 @@ func RunOneWorkers(w workloads.Workload, workers int) (Row, error) {
 	var reusePotential float64
 	// the variants plus the Fig. 12 reuse-limit simulation are mutually
 	// independent; item len(variants) is the simulation
-	err := par.Each(workers, len(variants)+1, func(i int) error {
+	err := par.EachCtx(ctx, workers, len(variants)+1, func(i int) error {
 		if i == len(variants) {
 			// sharded by equivalence class; identical totals at any
 			// worker count, so the report bytes stay stable
-			sim, err := repro.ReuseLimitWorkers(w.Src, w.RefArgs, workers)
+			sim, err := repro.ReuseLimitWorkersCtx(ctx, w.Src, w.RefArgs, workers)
 			if err != nil {
 				return err
 			}
@@ -183,11 +198,11 @@ func RunOneWorkers(w workloads.Workload, workers int) (Row, error) {
 		cfg := variants[i]
 		cfg.ProfileArgs = w.ProfileArgs
 		cfg.Workers = workers
-		c, err := compile(w.Src, cfg)
+		c, err := compile(ctx, w.Src, cfg)
 		if err != nil {
 			return err
 		}
-		res, err := c.Run(w.RefArgs)
+		res, err := c.RunCtx(ctx, w.RefArgs)
 		if err != nil {
 			return err
 		}
@@ -236,6 +251,11 @@ func RunSmvp() (Smvp, error) {
 // RunSmvpWorkers runs the §5.1 case study with at most workers variants
 // compiling concurrently; the bound is threaded into each compilation.
 func RunSmvpWorkers(workers int) (Smvp, error) {
+	return RunSmvpCtx(context.Background(), workers)
+}
+
+// RunSmvpCtx is RunSmvpWorkers with cancellation.
+func RunSmvpCtx(ctx context.Context, workers int) (Smvp, error) {
 	w, ok := workloads.ByName("equake")
 	if !ok {
 		return Smvp{}, fmt.Errorf("experiments: smvp case study: workload %q is not registered", "equake")
@@ -251,15 +271,15 @@ func RunSmvpWorkers(workers int) (Smvp, error) {
 		manualCfg,
 	}
 	results := make([]*machine.Result, len(variants))
-	err := par.Each(workers, len(variants), func(i int) error {
+	err := par.EachCtx(ctx, workers, len(variants), func(i int) error {
 		cfg := variants[i]
 		cfg.ProfileArgs = w.ProfileArgs
 		cfg.Workers = workers
-		c, err := compile(w.Src, cfg)
+		c, err := compile(ctx, w.Src, cfg)
 		if err != nil {
 			return err
 		}
-		res, err := c.Run(w.RefArgs)
+		res, err := c.RunCtx(ctx, w.RefArgs)
 		if err != nil {
 			return err
 		}
@@ -403,10 +423,15 @@ func RunSensitivity() ([]Sensitivity, error) {
 // kernels (and, within each kernel, compilations) in flight; the bound
 // is threaded into every compilation, so workers=1 is the serial oracle.
 func RunSensitivityWorkers(workers int) ([]Sensitivity, error) {
+	return RunSensitivityCtx(context.Background(), workers)
+}
+
+// RunSensitivityCtx is RunSensitivityWorkers with cancellation.
+func RunSensitivityCtx(ctx context.Context, workers int) ([]Sensitivity, error) {
 	names := []string{"gzip", "mcf", "equake"}
 	rows := make([]Sensitivity, len(names))
-	err := par.Each(workers, len(names), func(i int) error {
-		row, err := sensitivityRow(names[i], workers)
+	err := par.EachCtx(ctx, workers, len(names), func(i int) error {
+		row, err := sensitivityRow(ctx, names[i], workers)
 		if err != nil {
 			return fmt.Errorf("%s: %w", names[i], err)
 		}
@@ -423,7 +448,7 @@ func RunSensitivityWorkers(workers int) ([]Sensitivity, error) {
 // trained on the training input (mismatched) and one trained on the
 // reference input (matched). The three compilations are independent and
 // fan out under the same worker bound.
-func sensitivityRow(name string, workers int) (Sensitivity, error) {
+func sensitivityRow(ctx context.Context, name string, workers int) (Sensitivity, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return Sensitivity{}, fmt.Errorf("unknown workload %s", name)
@@ -434,14 +459,14 @@ func sensitivityRow(name string, workers int) (Sensitivity, error) {
 		{Spec: repro.SpecProfile, ProfileArgs: w.RefArgs},
 	}
 	results := make([]*machine.Result, len(variants))
-	err := par.Each(workers, len(variants), func(i int) error {
+	err := par.EachCtx(ctx, workers, len(variants), func(i int) error {
 		cfg := variants[i]
 		cfg.Workers = workers
-		c, err := compile(w.Src, cfg)
+		c, err := compile(ctx, w.Src, cfg)
 		if err != nil {
 			return err
 		}
-		res, err := c.Run(w.RefArgs)
+		res, err := c.RunCtx(ctx, w.RefArgs)
 		if err != nil {
 			return err
 		}
@@ -514,18 +539,28 @@ func RunMachineSweep(name string) ([]MachinePoint, error) {
 // trace replay sharing the recording read-only (or a direct run when
 // tracing is disabled — the results are identical either way).
 func RunMachineSweepWorkers(name string, workers int) ([]MachinePoint, error) {
+	return RunMachineSweepCtx(context.Background(), name, nil, workers)
+}
+
+// RunMachineSweepCtx is the cancellable machine sweep: cfgs selects the
+// grid (nil = MachineSweepConfigs), and ctx is threaded through the
+// compilation, the one functional recording, and the per-point replay
+// fan-out, so cancelling a sweep stops claiming grid points promptly.
+func RunMachineSweepCtx(ctx context.Context, name string, cfgs []machine.Config, workers int) ([]MachinePoint, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %s", name)
 	}
-	c, err := compile(w.Src, repro.Config{
+	c, err := compile(ctx, w.Src, repro.Config{
 		Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs, Workers: workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	cfgs := MachineSweepConfigs()
-	results, err := c.Evaluate(w.RefArgs, cfgs, workers)
+	if cfgs == nil {
+		cfgs = MachineSweepConfigs()
+	}
+	results, err := c.EvaluateCtx(ctx, w.RefArgs, cfgs, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -554,6 +589,111 @@ func PrintMachineSweep(w io.Writer, name string, points []MachinePoint) {
 			model, p.Config.ALATSize, p.Config.IntLoadLat, p.Config.FPLoadLat,
 			p.Cycles, p.FailedChecks, p.Evictions)
 	}
+}
+
+// EvalRequest is one (workload, config) evaluation — the unit of work
+// behind both `experiments -exp eval` and specd's POST /evaluate. The
+// two front ends share RunEvalCtx and MarshalEval, which is what makes
+// the service's responses byte-identical to the CLI's output for the
+// same request.
+type EvalRequest struct {
+	// Workload names a registered kernel (see workloads.All).
+	Workload string `json:"workload"`
+	// Config, when non-nil, overrides the default build (profile-guided
+	// speculation trained on the workload's training input).
+	Config *repro.Config `json:"config,omitempty"`
+	// Args overrides the measurement input (default: the workload's
+	// reference input).
+	Args []int64 `json:"args,omitempty"`
+	// Workers bounds the evaluation's parallelism. It shapes scheduling
+	// only, never results, and is excluded from the echoed config.
+	Workers int `json:"workers,omitempty"`
+}
+
+// EvalResult is the JSON shape of one evaluation: the request echoed in
+// normalized form plus the machine counters and optimizer statistics.
+type EvalResult struct {
+	Workload string          `json:"workload"`
+	Config   repro.Config    `json:"config"`
+	Args     []int64         `json:"args"`
+	Result   *machine.Result `json:"result"`
+	Stats    ssapre.Stats    `json:"stats"`
+}
+
+// RunEvalCtx compiles and runs one (workload, config) point. The
+// result is deterministic — identical at any worker count and with the
+// compilation cache cold, warm, or disabled — because every computation
+// under it is (see the determinism tests at the repo root).
+func RunEvalCtx(ctx context.Context, req EvalRequest) (*EvalResult, error) {
+	w, ok := workloads.ByName(req.Workload)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", req.Workload)
+	}
+	cfg := repro.Config{Spec: repro.SpecProfile}
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	if cfg.ProfileArgs == nil {
+		cfg.ProfileArgs = w.ProfileArgs
+	}
+	cfg.Workers = req.Workers
+	args := req.Args
+	if args == nil {
+		args = w.RefArgs
+	}
+	c, err := compile(ctx, w.Src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.RunCtx(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	// the echoed config carries the semantic inputs only: Workers is a
+	// scheduling knob, and normalizing it to zero keeps the bytes
+	// identical across -workers values and server replica sizes
+	cfg.Workers = 0
+	return &EvalResult{
+		Workload: w.Name,
+		Config:   cfg,
+		Args:     args,
+		Result:   res,
+		Stats:    c.TotalStats(),
+	}, nil
+}
+
+// MarshalEval renders an EvalResult as canonical indented JSON with a
+// trailing newline — the exact bytes both the CLI and the server emit.
+func MarshalEval(res *EvalResult) ([]byte, error) {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WorkloadInfo is the JSON shape of one registered kernel (GET
+// /workloads); Src is omitted deliberately — it is an input to the
+// service, not something it serves back.
+type WorkloadInfo struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	ProfileArgs []int64 `json:"profileArgs"`
+	RefArgs     []int64 `json:"refArgs"`
+	FPHeavy     bool    `json:"fpHeavy"`
+}
+
+// ListWorkloads returns the registered kernels in presentation order.
+func ListWorkloads() []WorkloadInfo {
+	ws := workloads.All()
+	out := make([]WorkloadInfo, len(ws))
+	for i, w := range ws {
+		out[i] = WorkloadInfo{
+			Name: w.Name, Description: w.Description,
+			ProfileArgs: w.ProfileArgs, RefArgs: w.RefArgs, FPHeavy: w.FPHeavy,
+		}
+	}
+	return out
 }
 
 // PrintSensitivity renders the input-sensitivity table.

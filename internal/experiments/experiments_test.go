@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -184,7 +185,7 @@ int main() {
 	print(100 / arg(0));
 	return 0;
 }`
-	_, err := compile(src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: []int64{0}})
+	_, err := compile(context.Background(), src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: []int64{0}})
 	if err == nil {
 		t.Fatal("faulting training run must fail the experiment compile")
 	}
@@ -192,7 +193,7 @@ int main() {
 		t.Errorf("error %q does not identify the profiling failure", err)
 	}
 	// a healthy training input compiles cleanly through the same wrapper
-	if _, err := compile(src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: []int64{5}}); err != nil {
+	if _, err := compile(context.Background(), src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: []int64{5}}); err != nil {
 		t.Fatalf("healthy compile failed: %v", err)
 	}
 }

@@ -16,6 +16,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,8 +40,19 @@ func Workers(n int) int {
 // workers every item runs regardless of failures elsewhere, so the
 // surfaced error does not depend on goroutine scheduling.
 func Each(workers, n int, fn func(i int) error) error {
+	return EachCtx(context.Background(), workers, n, fn)
+}
+
+// EachCtx is Each with cancellation: when ctx is done, workers stop
+// claiming new items and EachCtx returns ctx.Err() without waiting for
+// items already in flight (those finish on their own goroutines, which
+// then exit — nothing leaks, the caller just isn't held hostage to a
+// long-running item). With an un-cancellable ctx the behavior and the
+// surfaced error are identical to Each, including the workers==1 serial
+// oracle (which checks ctx between items and never spawns a goroutine).
+func EachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	w := Workers(workers)
 	if w > n {
@@ -48,6 +60,9 @@ func Each(workers, n int, fn func(i int) error) error {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -65,6 +80,9 @@ func Each(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n {
 					return
@@ -73,7 +91,18 @@ func Each(workers, n int, fn func(i int) error) error {
 			}
 		}()
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		// errs may still be written by in-flight items; it is not read
+		// on this path, so the early return is race-free
+		return ctx.Err()
+	case <-done:
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,11 +1,13 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -112,5 +114,70 @@ func TestMapError(t *testing.T) {
 	}
 	if out != nil {
 		t.Fatalf("got non-nil result %v on error", out)
+	}
+}
+
+func TestEachCtxCancelStopsClaiming(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	const n = 100
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- EachCtx(ctx, 4, n, func(i int) error {
+			started.Add(1)
+			<-release
+			return nil
+		})
+	}()
+	// wait for the 4 workers to pick up their first items
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	// EachCtx must return promptly even though 4 items are still blocked
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("EachCtx did not return after cancel")
+	}
+	close(release)
+	// idle workers must not have claimed (many) more items after cancel
+	if got := started.Load(); got > 8 {
+		t.Fatalf("started %d items after cancel, want <= 8", got)
+	}
+}
+
+func TestEachCtxSerialChecksBetweenItems(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := EachCtx(ctx, 1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d items, want 3 (stop after the cancelling item)", ran)
+	}
+}
+
+func TestEachCtxBackgroundMatchesEach(t *testing.T) {
+	var a, b atomic.Int64
+	if err := Each(3, 50, func(i int) error { a.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := EachCtx(context.Background(), 3, 50, func(i int) error { b.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if a.Load() != b.Load() {
+		t.Fatalf("sums differ: %d vs %d", a.Load(), b.Load())
 	}
 }

@@ -1,0 +1,486 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	return New(cfg)
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestHealthzAndWorkloads(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws []experiments.WorkloadInfo
+	if err := json.Unmarshal(readAll(t, resp), &ws); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range ws {
+		if w.Name == "equake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("workloads missing equake: %+v", ws)
+	}
+}
+
+// parseCounters reads the Prometheus text rendering into name{labels} ->
+// value for every non-comment sample line.
+func parseCounters(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func scrape(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseCounters(t, string(readAll(t, resp)))
+}
+
+// TestAdmissionControlAndDrain exercises the whole admission state
+// machine on a Workers=1, Queue=1 server with a controllable job body:
+// the first job executes, the second queues, the third bounces with 429;
+// BeginDrain rejects the queued job with 503 while the in-flight job
+// finishes with 200, healthz flips to 503, and every *_total counter in
+// /metrics is monotone across the drain.
+func TestAdmissionControlAndDrain(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, Queue: 1})
+
+	block := make(chan struct{})
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(block) }) }
+	defer release()
+	started := make(chan struct{}, 4)
+	s.mux.HandleFunc("POST /test", s.job("test", func(ctx context.Context, r *http.Request) (any, error) {
+		started <- struct{}{}
+		<-block
+		return map[string]string{"ok": "true"}, nil
+	}))
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		code int
+		body string
+	}
+	do := func(ch chan<- result) {
+		resp, err := ts.Client().Post(ts.URL+"/test", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			ch <- result{-1, err.Error()}
+			return
+		}
+		ch <- result{resp.StatusCode, string(readAll(t, resp))}
+	}
+
+	// job 1: takes the single worker slot and blocks
+	r1 := make(chan result, 1)
+	go do(r1)
+	<-started
+
+	// job 2: admitted into the queue (depth becomes 1)
+	r2 := make(chan result, 1)
+	go do(r2)
+	waitFor(t, func() bool { return s.metrics.queueDepth.Load() == 1 })
+
+	before := scrape(t, ts)
+	if got := before["specd_queue_depth"]; got != 1 {
+		t.Fatalf("queue depth gauge = %g, want 1", got)
+	}
+	if got := before["specd_inflight_jobs"]; got != 1 {
+		t.Fatalf("inflight gauge = %g, want 1", got)
+	}
+
+	// job 3: queue full -> immediate 429
+	r3 := make(chan result, 1)
+	go do(r3)
+	if res := <-r3; res.code != http.StatusTooManyRequests {
+		t.Fatalf("third job = %d %q, want 429", res.code, res.body)
+	}
+
+	// drain: the queued job is rejected with 503, the in-flight one
+	// runs to completion
+	s.BeginDrain()
+	if res := <-r2; res.code != http.StatusServiceUnavailable {
+		t.Fatalf("queued job after drain = %d %q, want 503", res.code, res.body)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	release()
+	if res := <-r1; res.code != http.StatusOK {
+		t.Fatalf("in-flight job after drain = %d %q, want 200", res.code, res.body)
+	}
+	// a brand-new job is rejected up front
+	rNew := make(chan result, 1)
+	go do(rNew)
+	if res := <-rNew; res.code != http.StatusServiceUnavailable {
+		t.Fatalf("new job while draining = %d, want 503", res.code)
+	}
+
+	after := scrape(t, ts)
+	for name, v := range before {
+		if strings.Contains(name, "_total") && after[name] < v {
+			t.Errorf("counter %s went backwards: %g -> %g", name, v, after[name])
+		}
+	}
+	if after["specd_queue_depth"] != 0 || after["specd_inflight_jobs"] != 0 {
+		t.Fatalf("gauges after drain: depth=%g inflight=%g, want 0/0",
+			after["specd_queue_depth"], after["specd_inflight_jobs"])
+	}
+	wantCodes := map[string]float64{
+		`specd_requests_total{endpoint="test",code="200"}`: 1,
+		`specd_requests_total{endpoint="test",code="429"}`: 1,
+		`specd_requests_total{endpoint="test",code="503"}`: 2,
+	}
+	for series, want := range wantCodes {
+		if got := after[series]; got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPanicRecovery proves a panicking job body yields a 500 with the
+// JSON error envelope for that request only — the server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	boom := true
+	s.mux.HandleFunc("POST /test", s.job("test", func(ctx context.Context, r *http.Request) (any, error) {
+		if boom {
+			panic("kaboom")
+		}
+		return map[string]string{"ok": "true"}, nil
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/test", struct{}{})
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking job = %d, want 500", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("missing X-Request-Id on panic response")
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("panic response is not the JSON envelope: %q", body)
+	}
+	if !strings.Contains(e.Error, "kaboom") || e.RequestID == "" {
+		t.Fatalf("envelope = %+v", e)
+	}
+
+	boom = false
+	resp = postJSON(t, ts, "/test", struct{}{})
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after a panic = %d, want 200 (worker slot leaked?)", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/evaluate", `{"workload":"no-such-workload"}`},
+		{"/sweep", `{"workload":"no-such-workload"}`},
+		{"/evaluate", `{not json`},
+		{"/evaluate", `{"workload":"equake","bogusField":1}`},
+		{"/compile", `{"source":""}`},
+	}
+	for _, c := range cases {
+		resp, err := ts.Client().Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %s = %d %q, want 400", c.path, c.body, resp.StatusCode, body)
+		}
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil || e.RequestID == "" {
+			t.Errorf("POST %s: error envelope = %q (%v)", c.path, body, err)
+		}
+	}
+}
+
+// TestRequestTimeout proves the per-request deadline converts to a 504
+// instead of hanging the slot.
+func TestRequestTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, Timeout: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/evaluate", experiments.EvalRequest{Workload: "equake"})
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out evaluate = %d %q, want 504", resp.StatusCode, body)
+	}
+}
+
+// TestEvaluateByteIdentical is the service's core contract: POST
+// /evaluate returns exactly the bytes `experiments -exp eval -json`
+// prints for the same (workload, config) — cold cache and warm cache,
+// serial and 8-way parallel execution.
+func TestEvaluateByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and times a workload")
+	}
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// the CLI rendering of the same request (cmd/experiments -exp eval)
+	cliBytes := func(workers int) []byte {
+		res, err := experiments.RunEvalCtx(context.Background(), experiments.EvalRequest{
+			Workload: "equake", Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := experiments.MarshalEval(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	repro.ResetCaches()
+	want := cliBytes(1)
+	for _, cold := range []bool{true, false} {
+		for _, workers := range []int{1, 8} {
+			if cold {
+				repro.ResetCaches()
+			}
+			resp := postJSON(t, ts, "/evaluate", experiments.EvalRequest{Workload: "equake", Workers: workers})
+			body := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("cold=%v workers=%d: %d %q", cold, workers, resp.StatusCode, body)
+			}
+			if !bytes.Equal(body, want) {
+				t.Fatalf("cold=%v workers=%d: server bytes differ from CLI bytes:\nserver: %s\ncli:    %s",
+					cold, workers, body, want)
+			}
+		}
+	}
+}
+
+// TestSweepEndpoint drives POST /sweep over a tiny explicit grid and
+// checks the points are index-aligned with the request.
+func TestSweepEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and times a workload")
+	}
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	m1, m2 := machine.Defaults(), machine.Defaults()
+	m2.ALATSize = 4
+	resp := postJSON(t, ts, "/sweep", SweepRequest{
+		Workload: "equake",
+		Configs:  []machine.Config{m1, m2},
+	})
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d %q", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Workload != "equake" || len(sr.Points) != 2 {
+		t.Fatalf("sweep response = %+v", sr)
+	}
+	for i, p := range sr.Points {
+		if p.Cycles == 0 {
+			t.Fatalf("point %d has zero cycles: %+v", i, p)
+		}
+	}
+}
+
+// TestSweepCancellation is the acceptance criterion in service form:
+// POST /sweep with a client that disconnects mid-flight must observe the
+// cancellation promptly (the handler returns; the slot frees) rather
+// than timing the whole grid.
+func TestSweepCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a workload")
+	}
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(SweepRequest{Workload: "equake", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/sweep", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			readAll(t, resp)
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return s.metrics.inflight.Load() == 1 })
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled sweep did not return promptly")
+	}
+	// the worker slot must come back so the next job runs
+	waitFor(t, func() bool { return s.metrics.inflight.Load() == 0 })
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after cancel = %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentRequestIDsUnique hammers a trivial job and checks every
+// response carries a distinct request id.
+func TestConcurrentRequestIDsUnique(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, Queue: 64})
+	s.mux.HandleFunc("POST /test", s.job("test", func(ctx context.Context, r *http.Request) (any, error) {
+		return map[string]string{"ok": "true"}, nil
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 32
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/test", "application/json", strings.NewReader("{}"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			readAll(t, resp)
+			ids <- resp.Header.Get("X-Request-Id")
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[string]bool{}
+	for id := range ids {
+		if id == "" || seen[id] {
+			t.Fatalf("duplicate or empty request id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -16,6 +16,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -60,6 +61,11 @@ func (m SpecMode) String() string {
 		return "heuristic"
 	}
 	return "specmode?"
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (m SpecMode) coreMode() core.Mode {
@@ -163,8 +169,12 @@ var (
 // frontend parses + lowers IR from source, memoized by source hash; the
 // caller owns the returned clone outright.
 func frontend(src string) (*ir.Program, error) {
+	return frontendCtx(context.Background(), src)
+}
+
+func frontendCtx(ctx context.Context, src string) (*ir.Program, error) {
 	key := cache.KeyOf([]byte("frontend"), []byte(src))
-	v, err := compCache.GetObject(key, func() (any, error) {
+	v, err := compCache.GetObjectCtx(ctx, key, func() (any, error) {
 		f, err := source.Parse(src)
 		if err != nil {
 			return nil, err
@@ -204,9 +214,13 @@ func profileKey(src string, cfg Config) cache.Key {
 // for one interpreter run per key no matter how many variants it
 // compiles, and a warm-started process pays for none.
 func profileData(src string, cfg Config) ([]byte, error) {
-	return compCache.GetBytes(profileKey(src, cfg), func() ([]byte, error) {
+	return profileDataCtx(context.Background(), src, cfg)
+}
+
+func profileDataCtx(ctx context.Context, src string, cfg Config) ([]byte, error) {
+	return compCache.GetBytesCtx(ctx, profileKey(src, cfg), func() ([]byte, error) {
 		profilingRuns.Add(1)
-		prog, err := frontend(src)
+		prog, err := frontendCtx(ctx, src)
 		if err != nil {
 			return nil, err
 		}
@@ -274,9 +288,20 @@ func ResetFrontendCache() { ResetCaches() }
 
 // Compile runs the full pipeline on MiniC source.
 func Compile(src string, cfg Config) (*Compilation, error) {
+	return CompileCtx(context.Background(), src, cfg)
+}
+
+// CompileCtx is Compile with cancellation: the frontend and profiling
+// cache lookups honor ctx (a caller waiting on another compile's
+// in-flight work returns promptly), and the pipeline checks ctx at
+// every phase boundary — refinement, profiling, SSAPRE, verification,
+// scheduling, code generation — so a dropped client or an expired
+// deadline stops the compilation at the next phase instead of running
+// it to completion.
+func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, error) {
 	// one frontend run (or cache hit) feeds both programs: the reference
 	// IR stays pristine and the optimizer works on a detached clone
-	ref, err := frontend(src)
+	ref, err := frontendCtx(ctx, src)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +309,9 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 	c := &Compilation{Config: cfg, Source: src, Prog: prog, Ref: ref}
 
 	if !cfg.OptimizeOff {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// flow-sensitive refinement (paper Fig. 4): devirtualize
 		// references whose address resolves to a single variable
 		alias.RefineWorkers(prog, cfg.Workers)
@@ -304,7 +332,11 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 			// the training run is memoized: every variant of a sweep
 			// that shares (source, options, training args) reuses one
 			// interpreter run's serialized profile
-			data, perr := profileData(src, cfg)
+			data, perr := profileDataCtx(ctx, src, cfg)
+			if isCtxErr(perr) {
+				// cancellation is not a failed training run; surface it
+				return nil, perr
+			}
 			if perr == nil {
 				p, err := profile.Unmarshal(prog, data)
 				if err != nil {
@@ -323,6 +355,9 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 			}
 		}
 
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mode := cfg.Spec.coreMode()
 		if cfg.AggressivePromotion {
 			// ignore every alias: empty profile sets leave all chis weak
@@ -342,7 +377,7 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 			NoStrength:  cfg.NoStrength,
 			Workers:     cfg.Workers,
 		})
-		if err := par.Each(cfg.Workers, len(prog.Funcs), func(i int) error {
+		if err := par.EachCtx(ctx, cfg.Workers, len(prog.Funcs), func(i int) error {
 			if err := ir.Verify(prog.Funcs[i]); err != nil {
 				return fmt.Errorf("repro: optimizer produced invalid IR: %w", err)
 			}
@@ -352,6 +387,9 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Schedule {
 		codegen.ScheduleWorkers(prog, cfg.Workers)
 	}
@@ -404,7 +442,7 @@ func (c *Compilation) fingerprint() [32]byte {
 // first request. A run that faults yields the same error direct
 // execution would (memoized like any other cache entry — sound because
 // the limits are part of the key).
-func (c *Compilation) traceFor(args []int64, mcfg machine.Config) (*machine.Trace, error) {
+func (c *Compilation) traceFor(ctx context.Context, args []int64, mcfg machine.Config) (*machine.Trace, error) {
 	n := mcfg.Normalized()
 	fp := c.fingerprint()
 	argb := make([]byte, 8*len(args))
@@ -414,8 +452,8 @@ func (c *Compilation) traceFor(args []int64, mcfg machine.Config) (*machine.Trac
 	lim := fmt.Sprintf("v%d slots=%d steps=%d depth=%d",
 		traceCacheVersion, n.StackSlots, n.MaxSteps, n.MaxCallDepth)
 	key := cache.KeyOf([]byte("trace"), fp[:], argb, []byte(lim))
-	v, err := compCache.GetObject(key, func() (any, error) {
-		data, err := compCache.GetBytes(cache.KeyOf([]byte("tracebytes"), fp[:], argb, []byte(lim)),
+	v, err := compCache.GetObjectCtx(ctx, key, func() (any, error) {
+		data, err := compCache.GetBytesCtx(ctx, cache.KeyOf([]byte("tracebytes"), fp[:], argb, []byte(lim)),
 			func() ([]byte, error) {
 				tr, err := machine.Record(c.Code, args, n)
 				if err != nil {
@@ -437,9 +475,12 @@ func (c *Compilation) traceFor(args []int64, mcfg machine.Config) (*machine.Trac
 // runMachine executes the compiled program under mcfg, through the
 // record-and-replay path when enabled (with direct execution as the
 // fallback), directly otherwise.
-func (c *Compilation) runMachine(args []int64, mcfg machine.Config) (*machine.Result, error) {
+func (c *Compilation) runMachine(ctx context.Context, args []int64, mcfg machine.Config) (*machine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if TraceEnabled() {
-		tr, err := c.traceFor(args, mcfg)
+		tr, err := c.traceFor(ctx, args, mcfg)
 		if err != nil {
 			// the recording run faulted: this is the same error direct
 			// execution under these limits would produce
@@ -460,7 +501,14 @@ func (c *Compilation) runMachine(args []int64, mcfg machine.Config) (*machine.Re
 // Run executes the compiled program on the EPIC VM (via the trace
 // replay path when enabled; see SetTraceEnabled).
 func (c *Compilation) Run(args []int64) (*machine.Result, error) {
-	return c.runMachine(args, c.Config.Machine)
+	return c.RunCtx(context.Background(), args)
+}
+
+// RunCtx is Run with cancellation: the trace-cache lookup honors ctx (a
+// caller waiting on another run's in-flight recording returns promptly
+// when cancelled) and a done ctx stops the run before it starts.
+func (c *Compilation) RunCtx(ctx context.Context, args []int64) (*machine.Result, error) {
+	return c.runMachine(ctx, args, c.Config.Machine)
 }
 
 // Evaluate re-times the compiled program on args under every machine
@@ -470,9 +518,19 @@ func (c *Compilation) Run(args []int64) (*machine.Result, error) {
 // replays fan out across workers sharing the recorded trace read-only.
 // Results are index-aligned with cfgs.
 func (c *Compilation) Evaluate(args []int64, cfgs []machine.Config, workers int) ([]*machine.Result, error) {
+	return c.EvaluateCtx(context.Background(), args, cfgs, workers)
+}
+
+// EvaluateCtx is Evaluate with cancellation threaded through the
+// per-config fan-out (internal/par) and the trace cache's singleflight:
+// when ctx is done, idle workers stop claiming configs, waiters blocked
+// on another caller's recording return, and EvaluateCtx itself returns
+// ctx.Err() promptly without waiting for replays already in flight
+// (which finish and are dropped).
+func (c *Compilation) EvaluateCtx(ctx context.Context, args []int64, cfgs []machine.Config, workers int) ([]*machine.Result, error) {
 	results := make([]*machine.Result, len(cfgs))
-	if err := par.Each(workers, len(cfgs), func(i int) error {
-		res, err := c.runMachine(args, cfgs[i])
+	if err := par.EachCtx(ctx, workers, len(cfgs), func(i int) error {
+		res, err := c.runMachine(ctx, args, cfgs[i])
 		if err != nil {
 			return err
 		}
@@ -505,7 +563,13 @@ func (c *Compilation) TotalStats() ssapre.Stats {
 // interpreter run), so collecting a profile warms the cache for a later
 // Compile with the same training args — and vice versa.
 func CollectProfile(src string, args []int64) ([]byte, error) {
-	return profileData(src, Config{ProfileArgs: args})
+	return CollectProfileCtx(context.Background(), src, args)
+}
+
+// CollectProfileCtx is CollectProfile with cancellation (the cache
+// lookup and any nested frontend wait honor ctx).
+func CollectProfileCtx(ctx context.Context, src string, args []int64) ([]byte, error) {
+	return profileDataCtx(ctx, src, Config{ProfileArgs: args})
 }
 
 // Reference interprets the unoptimized program and returns its result.
@@ -533,8 +597,18 @@ func ReuseLimit(src string, args []int64) (*interp.ReuseSim, error) {
 // workers <= 1 runs the simulation inline during interpretation — the
 // historical serial path and the equivalence oracle.
 func ReuseLimitWorkers(src string, args []int64, workers int) (*interp.ReuseSim, error) {
-	prog, err := frontend(src)
+	return ReuseLimitWorkersCtx(context.Background(), src, args, workers)
+}
+
+// ReuseLimitWorkersCtx is ReuseLimitWorkers with cancellation: the
+// frontend cache lookup honors ctx and a done ctx stops the simulation
+// before the interpreter run starts.
+func ReuseLimitWorkersCtx(ctx context.Context, src string, args []int64, workers int) (*interp.ReuseSim, error) {
+	prog, err := frontendCtx(ctx, src)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	keys := ir.SiteSyntaxKeys(prog)
