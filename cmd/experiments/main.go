@@ -49,6 +49,7 @@ func run() error {
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "prune the disk cache to this many bytes before exit (0 = unbounded)")
 	cacheStats := flag.Bool("cache-stats", false, "print compilation-cache hit/miss counters to stderr when done")
 	noTrace := flag.Bool("no-trace", false, "execute the VM directly instead of the record-and-replay trace path")
+	verify := flag.Bool("verify-passes", false, "run the speculation-soundness checker after every pipeline stage of every compilation")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file when done")
 	flag.Parse()
@@ -60,6 +61,10 @@ func run() error {
 	}
 	if *noTrace {
 		repro.SetTraceEnabled(false)
+	}
+	if *verify {
+		experiments.SetVerifyPasses(true)
+		verifyPasses = true
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -179,10 +184,16 @@ func writeMemProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
+// verifyPasses mirrors -verify-passes for the ablation sweep's direct
+// repro.Compile calls (the table experiments go through
+// experiments.SetVerifyPasses instead).
+var verifyPasses bool
+
 // compile wraps repro.Compile and refuses a compilation whose training
 // run faulted (the silent StaticEstimate fallback would skew the
 // ablation numbers).
 func compile(src string, cfg repro.Config) (*repro.Compilation, error) {
+	cfg.VerifyPasses = verifyPasses
 	c, err := repro.Compile(src, cfg)
 	if err != nil {
 		return nil, err

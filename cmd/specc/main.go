@@ -56,6 +56,7 @@ func run() error {
 	profileFile := flag.String("profile", "", "use a serialized profile (from aliasprof -o) instead of -train")
 	sched := flag.Bool("sched", false, "enable the instruction scheduler")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined (scoreboard) timing model")
+	verify := flag.Bool("verify-passes", false, "run the speculation-soundness checker after every pipeline stage")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -90,6 +91,7 @@ func run() error {
 		cfg.ProfileJSON = data
 	}
 	cfg.Schedule = *sched
+	cfg.VerifyPasses = *verify
 	if *pipelined {
 		cfg.Machine = machine.Defaults()
 		cfg.Machine.Pipelined = true

@@ -235,6 +235,9 @@ func (g *progGen) generate() string {
 // TestFuzzEquivalence generates random programs and checks that every
 // optimization configuration preserves the reference interpreter's output
 // on several inputs, including inputs different from the profiled one.
+// Every build also runs with VerifyPasses, so each fuzzed program is a
+// soundness probe for the per-pass speculation checker: a specheck
+// violation surfaces as a compile error and fails the test.
 func TestFuzzEquivalence(t *testing.T) {
 	pipelined := machine.Defaults()
 	pipelined.Pipelined = true
@@ -268,6 +271,7 @@ func TestFuzzEquivalence(t *testing.T) {
 		}
 		for ci, cfg := range configs {
 			cfg.ProfileArgs = []int64{3}
+			cfg.VerifyPasses = true
 			c, err := repro.Compile(src, cfg)
 			if err != nil {
 				t.Fatalf("seed %d cfg %d: compile: %v\n%s", seed, ci, err, src)
@@ -288,6 +292,121 @@ func TestFuzzEquivalence(t *testing.T) {
 	}, cfgQ)
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// nearMissPrograms are hand-seeded programs shaped like the soundness
+// bugs the checker exists to catch: an always-aliasing store between a
+// hoistable load and its reuse, a check whose address is recomputed
+// through a CSE'd temp, stacked re-loads of the same location after a
+// kill, and a may-alias store reachable on only one CFG path. A correct
+// pipeline must compile every one of them specheck-clean in every mode
+// AND preserve reference output — these sit as close to the unsound
+// boundary as a well-defined program can.
+var nearMissPrograms = []struct{ name, src string }{
+	{"store-between-load-and-reuse", `
+int A[8];
+int main() {
+	int n = arg(0);
+	int *p = &A[3];
+	int total = 0;
+	for (int i = 0; i < n + 4; i++) {
+		total += A[3];
+		*p = total % 19;
+		total += A[3];
+	}
+	print(total);
+	return 0;
+}`},
+	{"cse-address-recompute", `
+int A[16];
+int main() {
+	int n = arg(0);
+	int total = 0;
+	for (int i = 0; i < n + 6; i++) {
+		int j = (i * 5) & 15;
+		total += A[j];
+		A[(j + 8) & 15] = total % 31;
+		total += A[j] + A[(i * 5) & 15];
+	}
+	print(total);
+	return 0;
+}`},
+	{"stacked-reload-after-kill", `
+int A[8];
+int B[8];
+int main() {
+	int n = arg(0);
+	int *p = &A[2];
+	if (n > 5) p = &B[2];
+	int total = 0;
+	for (int i = 0; i < 9; i++) {
+		total += A[2];
+		total += A[2] + B[2];
+		*p = total % 23;
+		total += A[2] + B[2];
+		total += A[2];
+	}
+	print(total);
+	return 0;
+}`},
+	{"one-path-may-alias-store", `
+int A[8];
+int main() {
+	int n = arg(0);
+	int *p = &A[1];
+	int total = 0;
+	for (int i = 0; i < n + 7; i++) {
+		int v = A[1];
+		if (i & 1) {
+			*p = v % 13;
+		} else {
+			total += v * 3;
+		}
+		total += A[1] + v;
+	}
+	print(total);
+	return 0;
+}`},
+}
+
+// TestSpecheckNearMiss compiles each seeded near-miss program under the
+// full mode matrix with VerifyPasses and cross-checks outputs against
+// the reference on an input the profile never saw.
+func TestSpecheckNearMiss(t *testing.T) {
+	modes := []repro.Config{
+		{Spec: repro.SpecOff},
+		{Spec: repro.SpecProfile},
+		{Spec: repro.SpecHeuristic},
+		{AggressivePromotion: true},
+		{Spec: repro.SpecProfile, Schedule: true},
+	}
+	for _, p := range nearMissPrograms {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			for ci, cfg := range modes {
+				cfg.ProfileArgs = []int64{2}
+				cfg.VerifyPasses = true
+				c, err := repro.Compile(p.src, cfg)
+				if err != nil {
+					t.Fatalf("cfg %d: %v", ci, err)
+				}
+				for _, input := range []int64{0, 2, 9} {
+					ref, err := repro.Reference(p.src, []int64{input})
+					if err != nil {
+						t.Fatalf("reference(%d): %v", input, err)
+					}
+					got, err := c.Run([]int64{input})
+					if err != nil {
+						t.Fatalf("cfg %d input %d: %v", ci, input, err)
+					}
+					if got.Output != ref.Output {
+						t.Fatalf("cfg %d input %d: got %q want %q", ci, input, got.Output, ref.Output)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -28,11 +28,33 @@ func Schedule(prog *ir.Program) {
 // blocks, so the result is independent of the worker count.
 func ScheduleWorkers(prog *ir.Program, workers int) {
 	par.Each(workers, len(prog.Funcs), func(i int) error {
+		alat := alatTemps(prog.Funcs[i])
 		for _, b := range prog.Funcs[i].Blocks {
-			b.Stmts = scheduleBlock(b.Stmts)
+			b.Stmts = scheduleBlock(b.Stmts, alat)
 		}
 		return nil
 	})
+}
+
+// alatTemps collects the symbols whose register is an ALAT pairing key:
+// destinations of advanced and check loads. A copy out of such a register
+// is the point where the original (unhoisted) load conceptually happens,
+// so it must stay ordered with stores and barriers — moving an aliasing
+// store between a check and the copy that consumes its value would let a
+// stale speculative value escape unchecked.
+func alatTemps(fn *ir.Func) map[*ir.Sym]bool {
+	var temps map[*ir.Sym]bool
+	for _, b := range fn.Blocks {
+		for _, s := range b.Stmts {
+			if a, ok := s.(*ir.Assign); ok && (a.Spec.AdvLoad || a.Spec.CheckLoad) {
+				if temps == nil {
+					temps = map[*ir.Sym]bool{}
+				}
+				temps[a.Dst.Sym] = true
+			}
+		}
+	}
+	return temps
 }
 
 // stmtLatency estimates the result latency of a statement, mirroring the
@@ -123,7 +145,7 @@ const (
 	memBarrier // calls, prints, allocations
 )
 
-func stmtMemClass(s ir.Stmt) memClass {
+func stmtMemClass(s ir.Stmt, alat map[*ir.Sym]bool) memClass {
 	switch t := s.(type) {
 	case *ir.Assign:
 		if t.Dst.Sym.InMemory() {
@@ -138,6 +160,13 @@ func stmtMemClass(s ir.Stmt) memClass {
 			if r, ok := t.A.(*ir.Ref); ok && r.Sym.InMemory() {
 				return memLoad
 			}
+			// a copy out of an ALAT register consumes a speculative
+			// value at its original program point: treat it as a load so
+			// no store or barrier can slide between the check and the
+			// consumption (see alatTemps)
+			if r, ok := t.A.(*ir.Ref); ok && alat[r.Sym] {
+				return memLoad
+			}
 		}
 		return memNone
 	case *ir.IStore:
@@ -149,7 +178,7 @@ func stmtMemClass(s ir.Stmt) memClass {
 }
 
 // scheduleBlock reorders one block's statements.
-func scheduleBlock(stmts []ir.Stmt) []ir.Stmt {
+func scheduleBlock(stmts []ir.Stmt, alat map[*ir.Sym]bool) []ir.Stmt {
 	n := len(stmts)
 	if n < 3 {
 		return stmts
@@ -183,7 +212,7 @@ func scheduleBlock(stmts []ir.Stmt) []ir.Stmt {
 			}
 		}
 		// memory dependences
-		switch stmtMemClass(s) {
+		switch stmtMemClass(s, alat) {
 		case memLoad:
 			if lastStore >= 0 {
 				addEdge(lastStore, i)

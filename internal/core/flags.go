@@ -94,6 +94,28 @@ func AssignFlags(prog *ir.Program, ar *alias.Result, prof *profile.Profile, mode
 	}
 }
 
+// LocsFor fetches the profiled LOC set AssignFlags consults for a
+// reference site (nil when no profile applies). Exported for the
+// speculation-soundness checker (internal/specheck), which re-derives the
+// expected flag of every chi/mu and compares it against what the pipeline
+// actually assigned.
+func LocsFor(prof *profile.Profile, mode Mode, site int, isStore bool) profile.LocSet {
+	return locsFor(prof, mode, site, isStore)
+}
+
+// SymFlag reports the speculation flag AssignFlags would give one chi/mu
+// symbol at a site with the given profiled LOC set. Exported for
+// internal/specheck (see LocsFor).
+func SymFlag(f *ir.Func, sym *ir.Sym, locs profile.LocSet, ar *alias.Result, mode Mode) bool {
+	return symFlag(f, sym, locs, ar, mode)
+}
+
+// SymLoc builds the profile LOC naming a program variable in function f
+// (exported for internal/specheck's flag re-derivation).
+func SymLoc(f *ir.Func, sym *ir.Sym) profile.Loc {
+	return symLoc(f, sym)
+}
+
 // locsFor fetches the profiled LOC set for a reference site, or nil when
 // no profile applies.
 func locsFor(prof *profile.Profile, mode Mode, site int, isStore bool) profile.LocSet {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"repro"
 	"repro/internal/machine"
@@ -40,7 +41,21 @@ func plainLoads(r *machine.Result) int64 {
 // compile wraps repro.CompileCtx and fails loudly when the training run
 // faulted: a silent StaticEstimate fallback would skew every
 // profile-guided number in the tables while looking plausible.
+// verifyPasses, when set (SetVerifyPasses / `experiments
+// -verify-passes`), turns the speculation-soundness checker on for
+// every compilation the experiments run. It only adds verification —
+// results are unchanged, compilations just fail loudly on a dirty
+// pipeline stage.
+var verifyPasses atomic.Bool
+
+// SetVerifyPasses makes every experiment compilation run the per-pass
+// speculation-soundness checker (repro.Config.VerifyPasses).
+func SetVerifyPasses(on bool) { verifyPasses.Store(on) }
+
 func compile(ctx context.Context, src string, cfg repro.Config) (*repro.Compilation, error) {
+	if verifyPasses.Load() {
+		cfg.VerifyPasses = true
+	}
 	c, err := repro.CompileCtx(ctx, src, cfg)
 	if err != nil {
 		return nil, err
@@ -608,6 +623,11 @@ type EvalRequest struct {
 	// Workers bounds the evaluation's parallelism. It shapes scheduling
 	// only, never results, and is excluded from the echoed config.
 	Workers int `json:"workers,omitempty"`
+	// Verify runs the per-pass speculation-soundness checker
+	// (repro.Config.VerifyPasses) during the compilation; a violation
+	// fails the request. Like Workers it is a diagnostic knob, so it is
+	// normalized out of the echoed config to keep response bytes stable.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // EvalResult is the JSON shape of one evaluation: the request echoed in
@@ -637,6 +657,9 @@ func RunEvalCtx(ctx context.Context, req EvalRequest) (*EvalResult, error) {
 		cfg.ProfileArgs = w.ProfileArgs
 	}
 	cfg.Workers = req.Workers
+	if req.Verify {
+		cfg.VerifyPasses = true
+	}
 	args := req.Args
 	if args == nil {
 		args = w.RefArgs
@@ -650,9 +673,11 @@ func RunEvalCtx(ctx context.Context, req EvalRequest) (*EvalResult, error) {
 		return nil, err
 	}
 	// the echoed config carries the semantic inputs only: Workers is a
-	// scheduling knob, and normalizing it to zero keeps the bytes
-	// identical across -workers values and server replica sizes
+	// scheduling knob and VerifyPasses a diagnostic one; normalizing
+	// both keeps the bytes identical across -workers values, server
+	// replica sizes and verify-enabled requests
 	cfg.Workers = 0
+	cfg.VerifyPasses = false
 	return &EvalResult{
 		Workload: w.Name,
 		Config:   cfg,

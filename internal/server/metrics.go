@@ -28,6 +28,13 @@ type metrics struct {
 	specLoadsRetired atomic.Int64
 	specCheckLoads   atomic.Int64
 	specFailedChecks atomic.Int64
+
+	// specheck counters: compilations that ran with VerifyPasses and
+	// came back clean, and the total violations the checker reported
+	// (normally zero forever — a nonzero value is an alert condition,
+	// since it means the pipeline produced unsound speculation).
+	specheckVerified   atomic.Int64
+	specheckViolations atomic.Int64
 }
 
 // reqKey labels one requests_total series.
@@ -162,6 +169,8 @@ func (m *metrics) write(w io.Writer) {
 		{"specd_spec_loads_retired_total", "Loads retired across all served evaluations.", m.specLoadsRetired.Load()},
 		{"specd_spec_check_loads_total", "Check loads (ld.c/ldf.c) across all served evaluations.", m.specCheckLoads.Load()},
 		{"specd_spec_failed_checks_total", "Failed speculation checks across all served evaluations.", m.specFailedChecks.Load()},
+		{"specd_specheck_verified_total", "Compilations that ran the speculation-soundness checker and passed.", m.specheckVerified.Load()},
+		{"specd_specheck_violations_total", "Speculation-soundness violations reported by verify-enabled compilations (nonzero means the pipeline produced unsound speculation).", m.specheckViolations.Load()},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 	}

@@ -43,6 +43,7 @@ import (
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/specheck"
 	"repro/internal/ssapre"
 )
 
@@ -306,12 +307,30 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(data, '\n'))
 }
 
+// countSpecheck records a verify-enabled compilation's outcome in the
+// specheck metrics: a clean pass increments verified, a *specheck.Error
+// adds its violation count. Call only when verification actually ran.
+func (s *Server) countSpecheck(err error) {
+	if err == nil {
+		s.metrics.specheckVerified.Add(1)
+		return
+	}
+	var se *specheck.Error
+	if errors.As(err, &se) {
+		s.metrics.specheckViolations.Add(int64(len(se.Violations)))
+	}
+}
+
 // CompileRequest is POST /compile's body: raw MiniC source plus an
-// optional build config.
+// optional build config. Verify runs the per-pass speculation-soundness
+// checker during the build (also reachable as config.VerifyPasses); a
+// violation fails the request and shows up in the
+// specd_specheck_violations_total counter.
 type CompileRequest struct {
 	Source  string        `json:"source"`
 	Config  *repro.Config `json:"config,omitempty"`
 	Workers int           `json:"workers,omitempty"`
+	Verify  bool          `json:"verify,omitempty"`
 }
 
 // CompileResponse reports what the pipeline did: per-build optimizer
@@ -337,7 +356,13 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (any, error
 		cfg = *req.Config
 	}
 	cfg.Workers = req.Workers
+	if req.Verify {
+		cfg.VerifyPasses = true
+	}
 	c, err := repro.CompileCtx(ctx, req.Source, cfg)
+	if cfg.VerifyPasses {
+		s.countSpecheck(err)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -371,6 +396,9 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (any, erro
 		return nil, err
 	}
 	res, err := experiments.RunEvalCtx(ctx, req)
+	if req.Verify || (req.Config != nil && req.Config.VerifyPasses) {
+		s.countSpecheck(err)
+	}
 	if err != nil {
 		return nil, err
 	}

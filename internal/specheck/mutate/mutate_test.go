@@ -1,0 +1,74 @@
+package mutate
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// benchSources picks workloads whose pipelines generate speculative
+// check loads (the mutation surface). equake is the paper's §5.1 case
+// study; mcf adds pointer-chasing with calls.
+func benchSources(t *testing.T) []workloads.Workload {
+	t.Helper()
+	var out []workloads.Workload
+	for _, name := range []string{"equake", "mcf"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// TestCleanWithoutMutation guards against a checker that cries wolf:
+// every stage's checker must accept the unmutated pipeline.
+func TestCleanWithoutMutation(t *testing.T) {
+	for _, w := range benchSources(t) {
+		for _, stage := range []Stage{StageAnnotated, StageSSA, StagePostPRE, StageMachine} {
+			tgt, err := Build(w.Src, w.ProfileArgs, stage)
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", w.Name, stage, err)
+			}
+			if vs := tgt.Check(nil); len(vs) > 0 {
+				t.Errorf("%s/%s: unmutated pipeline reported dirty: %v", w.Name, stage, vs[0])
+			}
+		}
+	}
+}
+
+// TestEveryMutantDetected is the core detection guarantee: each mutator
+// must be applicable on at least one workload, and specheck must flag
+// every single application.
+func TestEveryMutantDetected(t *testing.T) {
+	for _, m := range All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			applied := 0
+			for _, w := range benchSources(t) {
+				probe, err := Build(w.Src, w.ProfileArgs, m.Stage)
+				if err != nil {
+					t.Fatalf("%s: build: %v", w.Name, err)
+				}
+				sites := m.Sites(probe)
+				for site := 0; site < sites; site++ {
+					tgt, err := Build(w.Src, w.ProfileArgs, m.Stage)
+					if err != nil {
+						t.Fatalf("%s: rebuild: %v", w.Name, err)
+					}
+					vs := m.Run(tgt, site)
+					if len(vs) == 0 {
+						t.Errorf("%s: site %d of %d escaped detection (%s)",
+							w.Name, site, sites, m.Doc)
+						continue
+					}
+					applied++
+				}
+			}
+			if applied == 0 {
+				t.Fatalf("mutator never applicable on any workload — the suite has a blind spot")
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+// Package specheck is the speculation-soundness verifier: a static
+// analysis over the compiler's own output that proves the pipeline upheld
+// the paper's central contract — a speculatively ignored weak update
+// (a χ without the s-flag) is safe only because code generation emits a
+// matching ALAT check (ld.c) that repairs mis-speculation at run time.
+//
+// The checker has two analysis layers:
+//
+//   - Layer 1 (speculative SSA invariants, on IR): dominance-aware
+//     def-dominates-use verification for every SSA version, phi
+//     operand/predecessor correspondence, χ/μ list consistency against
+//     the alias result (every may-def site of a virtual variable carries
+//     a χ for it), flag-policy re-derivation (s-flags exactly where the
+//     profile or heuristic put them), and advanced-load/check-load
+//     pairing on the shared PRE temporary.
+//
+//   - Layer 2 (check-coverage dataflow, on machine code): a forward
+//     dataflow pass over codegen's output proving that on every CFG path
+//     each ld.a is followed by an ld.c on the same register before the
+//     first use that crosses a potentially-aliasing store, and that no
+//     check appears without a must-reaching advanced load in its
+//     register. A separate memory-order snapshot proves the scheduler
+//     never reordered memory operations or moved a store between a check
+//     and the copy that consumes its value.
+//
+// Violations carry the pass that introduced the broken state plus the
+// function/block (or machine instruction) they were found in, so a
+// failing pipeline run names its culprit. The package deliberately
+// re-derives expected state from first principles (alias result, profile,
+// dominators, machine-op semantics) instead of reusing the transformation
+// code it is checking.
+package specheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// Violation is one broken speculation-soundness invariant, attributed to
+// the pipeline pass that introduced it.
+type Violation struct {
+	// Pass names the pipeline stage after which the violation was
+	// detected ("alias-annotate", "assign-flags", "ssapre-round-2",
+	// "out-of-ssa", "schedule", "codegen", ...).
+	Pass string
+	// Func is the containing function.
+	Func string
+	// Block is the IR block id, or -1 when the violation is not tied to
+	// an IR block (machine-code layer).
+	Block int
+	// Instr is the machine instruction index within the function, or -1
+	// for IR-level violations.
+	Instr int
+	// Rule is a short stable identifier of the broken invariant
+	// ("check-without-provider", "use-crosses-store", ...).
+	Rule string
+	// Msg is the human-readable description.
+	Msg string
+}
+
+func (v Violation) String() string {
+	loc := v.Func
+	if v.Block >= 0 {
+		loc = fmt.Sprintf("%s B%d", v.Func, v.Block)
+	}
+	if v.Instr >= 0 {
+		loc = fmt.Sprintf("%s @%d", v.Func, v.Instr)
+	}
+	return fmt.Sprintf("[%s] %s: %s: %s", v.Pass, loc, v.Rule, v.Msg)
+}
+
+// Error aggregates the violations of one verification run; repro.CompileCtx
+// surfaces it when Config.VerifyPasses is set and a pass broke an
+// invariant.
+type Error struct {
+	Violations []Violation
+}
+
+func (e *Error) Error() string {
+	const max = 5
+	var b strings.Builder
+	fmt.Fprintf(&b, "specheck: %d violation(s)", len(e.Violations))
+	for i, v := range e.Violations {
+		if i == max {
+			fmt.Fprintf(&b, "; ... and %d more", len(e.Violations)-max)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// AsError wraps a violation list into an *Error, or returns nil for an
+// empty list.
+func AsError(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return &Error{Violations: vs}
+}
+
+// Env carries the analysis context Layer 1 re-derives expectations from:
+// the whole-program alias result and the exact (profile, mode) pair
+// core.AssignFlags ran with. Prof is nil outside profile mode (and the
+// empty profile under aggressive promotion, matching the pipeline).
+type Env struct {
+	Alias *alias.Result
+	Prof  *profile.Profile
+	Mode  core.Mode
+}

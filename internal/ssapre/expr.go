@@ -38,6 +38,13 @@ type Options struct {
 	// Verify re-checks CFG and SSA invariants after every PRE round and
 	// transformation (used by the test suite; costs compile time).
 	Verify bool
+	// VerifyHook, when non-nil, is invoked on each function after every
+	// optimization phase — pass is "ssapre-round-N" or "strength-reduce"
+	// while the function is still in SSA form (inSSA true) and
+	// "out-of-ssa" after conversion. A non-nil error aborts the run; the
+	// pipeline uses it to attribute speculation-soundness violations to
+	// the pass that introduced them (internal/specheck).
+	VerifyHook func(fn *ir.Func, pass string, inSSA bool) error
 	// Workers bounds the number of functions optimized concurrently:
 	// 0 uses every core, 1 reproduces the serial pipeline bit-for-bit.
 	Workers int

@@ -21,7 +21,10 @@ import (
 // the reference-site counter, which is virtualized per function during
 // the parallel phase and renumbered in program order afterwards, so the
 // resulting IR is bit-for-bit identical to a serial run.
-func Run(prog *ir.Program, opts Options) map[string]*Stats {
+// A non-nil error comes from Options.VerifyHook (the per-pass
+// speculation-soundness checker); the surfaced error is the one a serial
+// run would have hit first, and the program should be considered invalid.
+func Run(prog *ir.Program, opts Options) (map[string]*Stats, error) {
 	if opts.Rounds <= 0 {
 		// each round unifies one level of an expression tree (the next
 		// round's canonicalization sees the copies the previous round
@@ -30,11 +33,14 @@ func Run(prog *ir.Program, opts Options) map[string]*Stats {
 	}
 	stats := make([]*Stats, len(prog.Funcs))
 	sites := make([]*siteAlloc, len(prog.Funcs))
-	par.Each(opts.Workers, len(prog.Funcs), func(i int) error {
+	if err := par.Each(opts.Workers, len(prog.Funcs), func(i int) error {
 		sites[i] = &siteAlloc{}
-		stats[i] = runFunc(prog.Funcs[i], opts, sites[i])
-		return nil
-	})
+		var ferr error
+		stats[i], ferr = runFunc(prog.Funcs[i], opts, sites[i])
+		return ferr
+	}); err != nil {
+		return nil, err
+	}
 	// Renumber the sites allocated during code motion in program order:
 	// a serial run hands ids to function i's new check loads before
 	// function i+1 runs, and within one function allocation order is
@@ -53,7 +59,7 @@ func Run(prog *ir.Program, opts Options) map[string]*Stats {
 	for i, fn := range prog.Funcs {
 		res[fn.Name] = stats[i]
 	}
-	return res
+	return res, nil
 }
 
 // siteAlloc hands out per-function placeholder reference-site ids (negative,
@@ -68,8 +74,14 @@ func (sa *siteAlloc) alloc(a *ir.Assign) {
 	a.Site = -len(sa.assigns)
 }
 
-func runFunc(fn *ir.Func, opts Options, sites *siteAlloc) *Stats {
+func runFunc(fn *ir.Func, opts Options, sites *siteAlloc) (*Stats, error) {
 	stats := &Stats{}
+	hook := func(pass string, inSSA bool) error {
+		if opts.VerifyHook == nil {
+			return nil
+		}
+		return opts.VerifyHook(fn, pass, inSSA)
+	}
 	var virtuals []*ir.Sym
 	if opts.Alias != nil {
 		virtuals = opts.Alias.FuncVirtuals[fn]
@@ -107,6 +119,13 @@ func runFunc(fn *ir.Func, opts Options, sites *siteAlloc) *Stats {
 		if opts.Verify {
 			mustHold(fn)
 		}
+		// verify only rounds that changed the IR (plus the first, so a
+		// broken input is caught even when PRE finds nothing)
+		if any || round == 0 {
+			if err := hook(fmt.Sprintf("ssapre-round-%d", round+1), true); err != nil {
+				return stats, err
+			}
+		}
 		if !any {
 			break
 		}
@@ -117,6 +136,9 @@ func runFunc(fn *ir.Func, opts Options, sites *siteAlloc) *Stats {
 		if opts.Verify {
 			mustHold(fn)
 		}
+		if err := hook("strength-reduce", true); err != nil {
+			return stats, err
+		}
 	}
 	dce(fn, preTemps)
 	outOfSSA(fn, preTemps)
@@ -125,7 +147,10 @@ func runFunc(fn *ir.Func, opts Options, sites *siteAlloc) *Stats {
 			panic(fmt.Sprintf("ssapre: invalid IR after out-of-SSA: %v", err))
 		}
 	}
-	return stats
+	if err := hook("out-of-ssa", false); err != nil {
+		return stats, err
+	}
+	return stats, nil
 }
 
 // mustHold panics when a transformation broke the IR or SSA invariants —

@@ -33,7 +33,10 @@ func pipeline(t *testing.T, src string, mode core.Mode, controlSpec bool, profAr
 	}
 	prof.ApplyEdges(prog)
 	core.AssignFlags(prog, ar, prof, mode)
-	stats := Run(prog, Options{DataSpec: mode, ControlSpec: controlSpec, Alias: ar, Verify: true})
+	stats, err := Run(prog, Options{DataSpec: mode, ControlSpec: controlSpec, Alias: ar, Verify: true})
+	if err != nil {
+		t.Fatalf("ssapre: %v", err)
+	}
 	for _, fn := range prog.Funcs {
 		if err := ir.Verify(fn); err != nil {
 			t.Fatalf("optimized IR invalid: %v\n%s", err, fn)
@@ -402,7 +405,9 @@ int main() {
 	ar.Annotate(prog)
 	core.AssignFlags(prog, ar, profile.New(), core.ModeProfile) // all weak
 	profile.StaticEstimate(prog)
-	Run(prog, Options{DataSpec: core.ModeProfile, ControlSpec: true, Alias: ar, Verify: true})
+	if _, err := Run(prog, Options{DataSpec: core.ModeProfile, ControlSpec: true, Alias: ar, Verify: true}); err != nil {
+		t.Fatal(err)
+	}
 	got, err := interp.Run(prog, interp.Options{Args: []int64{0}})
 	if err != nil {
 		t.Fatal(err)
@@ -484,7 +489,9 @@ int main() {
 		}
 		prof.ApplyEdges(prog)
 		core.AssignFlags(prog, ar, prof, core.ModeProfile)
-		Run(prog, Options{DataSpec: core.ModeProfile, ControlSpec: true, Alias: ar, Rounds: rounds})
+		if _, err := Run(prog, Options{DataSpec: core.ModeProfile, ControlSpec: true, Alias: ar, Rounds: rounds}); err != nil {
+			t.Fatal(err)
+		}
 		return prog.FuncMap["main"].String()
 	}
 	if render(8) != render(20) {

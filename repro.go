@@ -33,6 +33,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/source"
+	"repro/internal/specheck"
 	"repro/internal/ssapre"
 )
 
@@ -125,6 +126,14 @@ type Config struct {
 	// fully serial pipeline bit-for-bit and is the determinism oracle
 	// the parallel paths are tested against.
 	Workers int
+	// VerifyPasses runs the speculation-soundness checker
+	// (internal/specheck) after every pipeline stage — alias annotation,
+	// flag assignment, each SSAPRE round, out-of-SSA, scheduling and code
+	// generation — attributing any violation to the stage that introduced
+	// it. Compilation fails with a *specheck.Error on the first dirty
+	// stage. Roughly doubles compile time; meant for CI, debugging and
+	// the `-verify-passes` / speclint surfaces.
+	VerifyPasses bool
 }
 
 // Compilation is a compiled program plus everything the experiments need.
@@ -308,6 +317,16 @@ func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, erro
 	prog := ir.Clone(ref)
 	c := &Compilation{Config: cfg, Source: src, Prog: prog, Ref: ref}
 
+	// verify surfaces specheck violations as a compile error; the
+	// *specheck.Error stays reachable through errors.As for callers that
+	// want the structured violation list (speclint, specd's counters).
+	verify := func(vs []specheck.Violation) error {
+		if err := specheck.AsError(vs); err != nil {
+			return fmt.Errorf("repro: %w", err)
+		}
+		return nil
+	}
+
 	if !cfg.OptimizeOff {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -318,6 +337,12 @@ func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, erro
 		ar := alias.Analyze(prog, alias.Options{TypeBased: !cfg.NoTypeBasedAA})
 		ar.AnnotateWorkers(prog, cfg.Workers)
 		c.Alias = ar
+		env := &specheck.Env{Alias: ar}
+		if cfg.VerifyPasses {
+			if err := verify(specheck.CheckAnnotated(prog, env, "alias-annotate")); err != nil {
+				return nil, err
+			}
+		}
 
 		var prof *profile.Profile
 		if len(cfg.ProfileJSON) > 0 {
@@ -359,16 +384,34 @@ func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, erro
 			return nil, err
 		}
 		mode := cfg.Spec.coreMode()
+		flagProf := prof
 		if cfg.AggressivePromotion {
 			// ignore every alias: empty profile sets leave all chis weak
 			mode = core.ModeProfile
-			core.AssignFlags(prog, ar, profile.New(), mode)
-		} else {
-			core.AssignFlags(prog, ar, prof, mode)
+			flagProf = profile.New()
+		}
+		core.AssignFlags(prog, ar, flagProf, mode)
+		env.Prof, env.Mode = flagProf, mode
+		if cfg.VerifyPasses {
+			if err := verify(specheck.CheckAnnotated(prog, env, "assign-flags")); err != nil {
+				return nil, err
+			}
+			if err := verify(specheck.CheckFlags(prog, env, "assign-flags")); err != nil {
+				return nil, err
+			}
 		}
 
+		var verifyHook func(fn *ir.Func, pass string, inSSA bool) error
+		if cfg.VerifyPasses {
+			verifyHook = func(fn *ir.Func, pass string, inSSA bool) error {
+				if inSSA {
+					return verify(specheck.CheckSSAFunc(fn, pass))
+				}
+				return verify(specheck.CheckPostSSA(fn, pass))
+			}
+		}
 		controlSpec := !cfg.NoControlSpec
-		c.Stats = ssapre.Run(prog, ssapre.Options{
+		stats, err := ssapre.Run(prog, ssapre.Options{
 			DataSpec:    mode,
 			ControlSpec: controlSpec,
 			Rounds:      cfg.Rounds,
@@ -376,7 +419,12 @@ func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, erro
 			NoArith:     cfg.NoArith,
 			NoStrength:  cfg.NoStrength,
 			Workers:     cfg.Workers,
+			VerifyHook:  verifyHook,
 		})
+		if err != nil {
+			return nil, err
+		}
+		c.Stats = stats
 		if err := par.EachCtx(ctx, cfg.Workers, len(prog.Funcs), func(i int) error {
 			if err := ir.Verify(prog.Funcs[i]); err != nil {
 				return fmt.Errorf("repro: optimizer produced invalid IR: %w", err)
@@ -391,11 +439,25 @@ func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, erro
 		return nil, err
 	}
 	if cfg.Schedule {
+		var before specheck.MemOrder
+		if cfg.VerifyPasses {
+			before = specheck.SnapshotMemOrder(prog)
+		}
 		codegen.ScheduleWorkers(prog, cfg.Workers)
+		if cfg.VerifyPasses {
+			if err := verify(specheck.CheckSchedule(prog, before, "schedule")); err != nil {
+				return nil, err
+			}
+		}
 	}
 	code, err := codegen.LowerWorkers(prog, cfg.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.VerifyPasses {
+		if err := verify(specheck.CheckMachine(code, "codegen")); err != nil {
+			return nil, err
+		}
 	}
 	c.Code = code
 	return c, nil
@@ -544,6 +606,15 @@ func (c *Compilation) EvaluateCtx(ctx context.Context, args []int64, cfgs []mach
 
 // RunReference interprets the unoptimized IR (the semantic oracle).
 func (c *Compilation) RunReference(args []int64) (*interp.Result, error) {
+	return c.RunReferenceCtx(context.Background(), args)
+}
+
+// RunReferenceCtx is RunReference with cancellation: a done ctx stops
+// the interpretation before it starts.
+func (c *Compilation) RunReferenceCtx(ctx context.Context, args []int64) (*interp.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return interp.Run(c.Ref, interp.Options{Args: args})
 }
 
