@@ -80,10 +80,10 @@ func BenchmarkMachineSweep(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				for _, cfg := range grid.cfgs {
-					if _, err := machine.Replay(code, tr, cfg, nil); err != nil {
-						b.Fatal(err)
-					}
+				// the batched walk re-times every pipelined config of the
+				// grid in one pass over the trace
+				if _, err := machine.ReplayBatch(code, tr, grid.cfgs); err != nil {
+					b.Fatal(err)
 				}
 			}
 			replayNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)

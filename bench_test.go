@@ -1,7 +1,10 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -221,6 +224,7 @@ func BenchmarkAblationALATSize(b *testing.B) {
 // BenchmarkPipelineCompile measures compiler throughput (parse through
 // codegen with profiling and full speculation) over the workload suite.
 func BenchmarkPipelineCompile(b *testing.B) {
+	b.ReportAllocs()
 	ws := workloads.All()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -228,6 +232,68 @@ func BenchmarkPipelineCompile(b *testing.B) {
 		if _, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompileProfile measures the allocation profile of the
+// optimizing compile path (every workload, profile-guided speculation)
+// and of the warm frontend-cache path (clone-dominated), and emits
+// BENCH_compile.json so CI can guard against allocation regressions the
+// same way BENCH_machine.json guards sweep speedups.
+func BenchmarkCompileProfile(b *testing.B) {
+	b.ReportAllocs()
+	ws := workloads.All()
+	// warm every cache first so steady-state compiles are measured
+	for _, w := range ws {
+		if _, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := ws[i%len(ws)]
+		if _, err := repro.Compile(w.Src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	compileNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	allocsPer := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+
+	// warm-cache compile with optimization off: parse+lower is served by
+	// a deep IR clone, so this approximates the clone cost itself
+	w, _ := workloads.ByName("equake")
+	cfg := repro.Config{OptimizeOff: true}
+	if _, err := repro.Compile(w.Src, cfg); err != nil {
+		b.Fatal(err)
+	}
+	const cloneIters = 64
+	cloneStart := time.Now()
+	for i := 0; i < cloneIters; i++ {
+		if _, err := repro.Compile(w.Src, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cloneNs := float64(time.Since(cloneStart).Nanoseconds()) / cloneIters
+
+	b.ReportMetric(allocsPer, "allocs/compile")
+	out := map[string]any{
+		"benchmark":          "CompileProfile",
+		"workloads":          len(ws),
+		"allocs_per_compile": allocsPer,
+		"ns_per_compile":     compileNs,
+		"clone_ns":           cloneNs,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_compile.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -297,6 +363,7 @@ func BenchmarkFrontendCache(b *testing.B) {
 	w, _ := workloads.ByName("equake")
 	cfg := repro.Config{OptimizeOff: true}
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			repro.ResetFrontendCache()
 			if _, err := repro.Compile(w.Src, cfg); err != nil {
@@ -305,6 +372,7 @@ func BenchmarkFrontendCache(b *testing.B) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		if _, err := repro.Compile(w.Src, cfg); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,92 @@
+// Command benchguard is the CI perf gate: it compares the sweep
+// speedups of a freshly generated BENCH_machine.json against the
+// committed baseline and exits non-zero when any grid regressed by more
+// than the allowed fraction. Single-pass CI benchmark numbers are
+// noisy, so the default margin is deliberately wide (25%); the guarded
+// speedups sit far above it on any runner, and only a real algorithmic
+// regression (e.g. the batched replay walk falling back to per-config
+// replays) moves them that much.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_machine.baseline.json -fresh BENCH_machine.json [-max-regress 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_machine.json to compare against")
+	freshPath := flag.String("fresh", "BENCH_machine.json", "freshly generated BENCH_machine.json")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional speedup regression (0.25 = 25%)")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+
+	base, err := loadSpeedups(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := loadSpeedups(*freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for grid, baseSpeedup := range base {
+		freshSpeedup, ok := fresh[grid]
+		if !ok {
+			fmt.Printf("FAIL %-8s baseline %.3fx but grid missing from fresh results\n", grid, baseSpeedup)
+			failed = true
+			continue
+		}
+		floor := baseSpeedup * (1 - *maxRegress)
+		status := "ok"
+		if freshSpeedup < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-4s %-8s baseline %.3fx  fresh %.3fx  floor %.3fx\n",
+			status, grid, baseSpeedup, freshSpeedup, floor)
+	}
+	if failed {
+		fmt.Println("benchguard: sweep speedup regressed beyond the allowed margin")
+		os.Exit(1)
+	}
+}
+
+// loadSpeedups extracts the per-grid replay-sweep speedups from a
+// BENCH_machine.json file (the "speedup" field of every object-valued
+// top-level entry, i.e. the "serial" and "mixed" grids).
+func loadSpeedups(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for key, v := range raw {
+		grid, ok := v.(map[string]any)
+		if !ok {
+			continue
+		}
+		if s, ok := grid["speedup"].(float64); ok && s > 0 {
+			out[key] = s
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no per-grid speedups found", path)
+	}
+	return out, nil
+}

@@ -13,6 +13,7 @@
 //	-timeout         per-request deadline (default 60s)
 //	-cache-dir       persist profiles/traces under this directory
 //	-cache-max-bytes prune the disk cache to this budget on shutdown (0 = unbounded)
+//	-pprof           serve net/http/pprof on a separate address (off by default)
 //
 // Endpoints: POST /compile, POST /evaluate, POST /sweep,
 // GET /workloads, GET /healthz, GET /metrics.
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +51,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline (negative = none)")
 	cacheDir := flag.String("cache-dir", "", "persist profiles/traces under this directory across runs")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "prune the disk cache to this many bytes on shutdown (0 = unbounded)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return cli.Usagef("unexpected arguments: %v", flag.Args())
@@ -68,6 +71,18 @@ func run() error {
 		Logger:  logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	if *pprofAddr != "" {
+		// profiling stays off the public API port: pprof handlers
+		// register on http.DefaultServeMux, served by a second listener
+		// that is opt-in and should be bound to localhost
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -3,6 +3,7 @@ package repro_test
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -286,6 +287,60 @@ func TestFuzzEquivalence(t *testing.T) {
 						seed, ci, input, got.Output, want[input], src)
 					return false
 				}
+			}
+		}
+		return true
+	}, cfgQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzBatchedReplay drives the batched timing engine with generated
+// programs: for each fuzzed source, record one trace of the optimized
+// code and check that a single ReplayBatch over a mixed serial/pipelined
+// grid (with duplicated points and ALAT pressure) agrees field-for-field
+// with per-config Replay. This catches batch-only divergences — lane
+// cross-talk in the shared scoreboards, ALAT-table sharing across sizes
+// — on control flow no hand-written workload exercises.
+func TestFuzzBatchedReplay(t *testing.T) {
+	grid := []machine.Config{
+		{},
+		{Pipelined: true},
+		{Pipelined: true, ALATSize: 2},
+		{Pipelined: true, ALATSize: 128},
+		{Pipelined: true, IntLoadLat: 8, FPLoadLat: 24, CheckMissPen: 16},
+		{Pipelined: true}, // duplicate lane
+		{ALATSize: 2},
+	}
+	count := 30
+	if testing.Short() {
+		count = 8
+	}
+	cfgQ := &quick.Config{MaxCount: count}
+	err := quick.Check(func(seed int64) bool {
+		src := newProgGen(seed).generate()
+		c, err := repro.Compile(src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: []int64{3}})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		tr, err := machine.Record(c.Code, []int64{41}, machine.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: record: %v\n%s", seed, err, src)
+		}
+		batch, err := machine.ReplayBatch(c.Code, tr, grid)
+		if err != nil {
+			t.Fatalf("seed %d: batch: %v\n%s", seed, err, src)
+		}
+		for i, mcfg := range grid {
+			single, err := machine.Replay(c.Code, tr, mcfg, nil)
+			if err != nil {
+				t.Fatalf("seed %d cfg %d: replay: %v\n%s", seed, i, err, src)
+			}
+			if !reflect.DeepEqual(single, batch[i]) {
+				t.Logf("seed %d cfg %+v: batch diverges\nreplay %+v\nbatch  %+v\nprogram:\n%s",
+					seed, mcfg, single, batch[i], src)
+				return false
 			}
 		}
 		return true

@@ -154,6 +154,22 @@ func (c *Cache) Reset() {
 	c.mu.Unlock()
 }
 
+// SumObjects folds f over every completed, non-error object entry of
+// the in-memory tier and returns the sum. Used to expose resident-size
+// gauges (e.g. decoded trace bytes) without the cache knowing any
+// value's type.
+func (c *Cache) SumObjects(f func(v any) int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, e := range c.mem {
+		if e.done() && e.err == nil && e.obj != nil {
+			total += f(e.obj)
+		}
+	}
+	return total
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()

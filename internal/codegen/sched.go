@@ -127,11 +127,11 @@ func stmtDefs(s ir.Stmt) []*ir.Sym {
 // stmtUses returns the register symbols read by a statement.
 func stmtUses(s ir.Stmt) []*ir.Sym {
 	var out []*ir.Sym
-	for _, op := range ir.Uses(s) {
+	ir.EachUse(s, func(op ir.Operand) {
 		if r, ok := op.(*ir.Ref); ok && !r.Sym.InMemory() {
 			out = append(out, r.Sym)
 		}
-	}
+	})
 	return out
 }
 

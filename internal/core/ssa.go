@@ -64,15 +64,22 @@ func BuildSSA(fn *ir.Func, virtuals []*ir.Sym) *SSA {
 	s := &SSA{Fn: fn, DT: dt, Def: map[SymVer]Def{}}
 
 	// 1. collect variables and their definition blocks
-	defBlocks := map[*ir.Sym][]*ir.Block{}
-	seen := map[*ir.Sym]bool{}
+	varIdx := make(map[*ir.Sym]int32, 16+len(virtuals))
+	var defBlocks [][]*ir.Block
 	note := func(sym *ir.Sym, b *ir.Block) {
-		if !seen[sym] {
-			seen[sym] = true
+		i, ok := varIdx[sym]
+		if !ok {
+			i = int32(len(s.Vars))
+			varIdx[sym] = i
 			s.Vars = append(s.Vars, sym)
+			defBlocks = append(defBlocks, nil)
 		}
 		if b != nil {
-			defBlocks[sym] = append(defBlocks[sym], b)
+			// consecutive duplicates are common (several defs in one
+			// block) and IteratedFrontier dedups anyway
+			if db := defBlocks[i]; len(db) == 0 || db[len(db)-1] != b {
+				defBlocks[i] = append(db, b)
+			}
 		}
 	}
 	noteUse := func(op ir.Operand) {
@@ -132,8 +139,8 @@ func BuildSSA(fn *ir.Func, virtuals []*ir.Sym) *SSA {
 	}
 
 	// 2. phi insertion at iterated dominance frontiers of the def sites
-	for _, sym := range s.Vars {
-		blocks := defBlocks[sym]
+	for vi, sym := range s.Vars {
+		blocks := defBlocks[vi]
 		if len(blocks) == 0 {
 			continue
 		}
@@ -143,9 +150,9 @@ func BuildSSA(fn *ir.Func, virtuals []*ir.Sym) *SSA {
 			if hasPhiFor(pb, sym) {
 				continue
 			}
-			phi := &ir.Phi{Sym: sym, Args: make([]*ir.Ref, len(pb.Preds))}
+			phi := fn.NewPhi(ir.Phi{Sym: sym, Args: make([]*ir.Ref, len(pb.Preds))})
 			for i := range phi.Args {
-				phi.Args[i] = &ir.Ref{Sym: sym}
+				phi.Args[i] = fn.NewRef(sym, 0)
 			}
 			pb.Phis = append(pb.Phis, phi)
 		}

@@ -12,6 +12,8 @@ type Phi struct {
 	Sym  *Sym
 	Ver  int
 	Args []*Ref
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 func (p *Phi) String() string {
@@ -55,6 +57,8 @@ type Block struct {
 	// Succs[i].
 	Freq     float64
 	EdgeFreq []float64
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 // PredIndex returns the position of p in b.Preds, or -1.
@@ -94,6 +98,7 @@ type Func struct {
 	prog    *Program
 	nextSym int
 	nextBlk int
+	arena   *arena // slab allocator for this function's IR objects (see arena.go)
 }
 
 // Program is a whole MiniC translation unit.
@@ -146,9 +151,10 @@ func (p *Program) NumSites() int { return p.nextSite }
 // Prog returns the program owning the function.
 func (f *Func) Prog() *Program { return f.prog }
 
-// NewSym creates a function-scope symbol.
+// NewSym creates a function-scope symbol (arena-allocated; see arena.go).
 func (f *Func) NewSym(name string, t *Type, kind SymKind) *Sym {
-	s := &Sym{Name: name, Type: t, Kind: kind, ID: f.nextSym, Class: -1}
+	s, i := f.arenaOf().syms.alloc(Sym{Name: name, Type: t, Kind: kind, ID: f.nextSym, Class: -1})
+	s.aidx = i + 1
 	f.nextSym++
 	f.Syms = append(f.Syms, s)
 	if kind == SymParam {
@@ -162,9 +168,11 @@ func (f *Func) NewTemp(t *Type) *Sym {
 	return f.NewSym(fmt.Sprintf("t%d", f.nextSym), t, SymTemp)
 }
 
-// NewBlock appends a new empty block to the function.
+// NewBlock appends a new empty block to the function
+// (arena-allocated; see arena.go).
 func (f *Func) NewBlock() *Block {
-	b := &Block{ID: f.nextBlk}
+	b, i := f.arenaOf().blocks.alloc(Block{ID: f.nextBlk})
+	b.aidx = i + 1
 	f.nextBlk++
 	f.Blocks = append(f.Blocks, b)
 	return b

@@ -13,6 +13,15 @@ type DomTree struct {
 	// rpoNum is the reverse-post-order number of each block.
 	rpoNum map[*Block]int
 	order  []*Block
+
+	// generation-marked scratch for IteratedFrontier: phi insertion calls
+	// it once per variable, so per-call map allocation dominates SSA
+	// construction without this. (DomTree is per-function and the compile
+	// pipeline never shares one across goroutines.)
+	ifGen  int
+	ifIn   []int
+	ifOut  []int
+	ifWork []*Block
 }
 
 // BuildDomTree computes dominators and dominance frontiers for f.
@@ -120,27 +129,42 @@ func (d *DomTree) RPONum(b *Block) int { return d.rpoNum[b] }
 // containing DF(in) and closed under DF. Phi placement inserts at DF+ of
 // the definition sites.
 func (d *DomTree) IteratedFrontier(in []*Block) []*Block {
-	inSet := make(map[*Block]bool)
-	work := append([]*Block(nil), in...)
-	out := make(map[*Block]bool)
-	for _, b := range in {
-		inSet[b] = true
+	if n := len(d.order); len(d.ifIn) < n {
+		d.ifIn = make([]int, n)
+		d.ifOut = make([]int, n)
 	}
-	var res []*Block
+	d.ifGen++
+	gen := d.ifGen
+	work := d.ifWork[:0]
+	for _, b := range in {
+		if i, ok := d.rpoNum[b]; ok {
+			if d.ifIn[i] != gen {
+				d.ifIn[i] = gen
+				work = append(work, b)
+			}
+		} else {
+			// unreachable def site: its frontier is empty, and it can never
+			// reappear as a frontier member, so no mark is needed
+			work = append(work, b)
+		}
+	}
+	var res []*Block // fresh per call: callers may hold results across calls
 	for len(work) > 0 {
 		b := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, fb := range d.Frontier[b] {
-			if !out[fb] {
-				out[fb] = true
+			i := d.rpoNum[fb]
+			if d.ifOut[i] != gen {
+				d.ifOut[i] = gen
 				res = append(res, fb)
-				if !inSet[fb] {
-					inSet[fb] = true
+				if d.ifIn[i] != gen {
+					d.ifIn[i] = gen
 					work = append(work, fb)
 				}
 			}
 		}
 	}
+	d.ifWork = work[:0]
 	return res
 }
 

@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -92,12 +93,56 @@ func (*ConstFloat) operand()         {}
 func (*ConstFloat) Type() *Type      { return FloatType }
 func (c *ConstFloat) String() string { return strconv.FormatFloat(c.Val, 'g', -1, 64) }
 
+// Constant interning: small integer literals (loop bounds, array
+// strides, masks) dominate constant operands, so IntConst hands out
+// shared pointers from a fixed pool instead of allocating. Interned
+// constants are immutable by contract — no pass writes ConstInt.Val or
+// ConstFloat.Val — and Clone still deep-copies constants (collapsing
+// each distinct interned pointer to one fresh object per clone), so a
+// caller mutating a clone's constant, as the detachment tests do, never
+// reaches the pool.
+const internMin, internMax = -128, 128
+
+var (
+	internInts   [internMax - internMin + 1]ConstInt
+	internFloat0 = ConstFloat{Val: 0}
+	internFloat1 = ConstFloat{Val: 1}
+)
+
+func init() {
+	for i := range internInts {
+		internInts[i].Val = int64(i + internMin)
+	}
+}
+
+// IntConst returns an integer literal operand, interned for small values.
+func IntConst(v int64) *ConstInt {
+	if v >= internMin && v <= internMax {
+		return &internInts[v-internMin]
+	}
+	return &ConstInt{Val: v}
+}
+
+// FloatConst returns a float literal operand, interned for +0 and 1
+// (bit-exact comparisons, so -0.0 keeps its own identity and rendering).
+func FloatConst(v float64) *ConstFloat {
+	switch math.Float64bits(v) {
+	case 0:
+		return &internFloat0
+	case math.Float64bits(1):
+		return &internFloat1
+	}
+	return &ConstFloat{Val: v}
+}
+
 // Ref is a use or def of a symbol at a particular SSA version. Before SSA
 // construction Ver is 0. Refs are aliased freely inside statements; the
 // renamer mutates Ver in place.
 type Ref struct {
 	Sym *Sym
 	Ver int
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 func (*Ref) operand()      {}
@@ -111,7 +156,11 @@ func (r *Ref) String() string {
 
 // AddrOf is the address of a memory-resident symbol (global, aggregate, or
 // address-taken local); its value is a pointer.
-type AddrOf struct{ Sym *Sym }
+type AddrOf struct {
+	Sym *Sym
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
+}
 
 func (*AddrOf) operand()         {}
 func (a *AddrOf) Type() *Type    { return PtrTo(a.Sym.Type) }

@@ -12,6 +12,8 @@ type Mu struct {
 	Sym  *Sym
 	Ver  int
 	Spec bool
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 func (m *Mu) String() string {
@@ -33,6 +35,8 @@ type Chi struct {
 	NewVer int
 	OldVer int
 	Spec   bool
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 func (c *Chi) String() string {
@@ -134,6 +138,8 @@ type Assign struct {
 	// memory-resident scalar) or RHSLoad, the declared element type, so
 	// codegen can pick int vs float load latency.
 	LoadsFrom *Type
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 func (*Assign) stmt() {}
@@ -173,6 +179,8 @@ type IStore struct {
 	StoresTo *Type
 	// Site is the program-unique reference-site id, keying alias profiles.
 	Site int
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 func (*IStore) stmt() {}
@@ -196,6 +204,8 @@ type Call struct {
 	Mus  []*Mu
 	Chis []*Chi
 	Site int // call-site id, unique within the program
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 func (*Call) stmt() {}
@@ -221,6 +231,8 @@ func (c *Call) String() string {
 // tests (interpreter output must equal VM output).
 type Print struct {
 	Args []Operand
+
+	aidx int32 // slab index +1 (see arena.go); 0 = literal-built
 }
 
 func (*Print) stmt() {}
@@ -245,6 +257,33 @@ func annotations(mus []*Mu, chis []*Chi) string {
 		parts = append(parts, c.String())
 	}
 	return "   ;; " + strings.Join(parts, ", ")
+}
+
+// EachUse calls f on every operand read by the statement (not including
+// mu lists). Unlike Uses it does not allocate, so hot analysis loops
+// should prefer it.
+func EachUse(s Stmt, f func(Operand)) {
+	switch st := s.(type) {
+	case *Assign:
+		switch st.RK {
+		case RHSCopy, RHSUnary, RHSLoad, RHSAlloc:
+			f(st.A)
+		case RHSBinary:
+			f(st.A)
+			f(st.B)
+		}
+	case *IStore:
+		f(st.Addr)
+		f(st.Val)
+	case *Call:
+		for _, a := range st.Args {
+			f(a)
+		}
+	case *Print:
+		for _, a := range st.Args {
+			f(a)
+		}
+	}
 }
 
 // Uses returns every operand read by the statement (not including mu lists).

@@ -65,6 +65,10 @@ type Sym struct {
 	// globals and virtual variables are shared by every function, so a
 	// counter here would race under the parallel pipeline.
 	NVers int
+
+	// aidx is the symbol's slab index (+1) in the owning Func's arena;
+	// 0 for globals, virtuals, and literal-built symbols (see arena.go).
+	aidx int32
 }
 
 // InMemory reports whether the symbol's storage is in addressable memory

@@ -78,4 +78,27 @@ func BenchmarkRecordVsRunVsReplay(b *testing.B) {
 			}
 		}
 	})
+	// eight pipelined latency points in one walk vs eight walks: the
+	// per-point cost of the batch should approach 1/8th of a single
+	// pipelined replay plus the lane overhead
+	grid := make([]Config, 8)
+	for i := range grid {
+		grid[i] = Config{Pipelined: true, IntLoadLat: 2 + i, FPLoadLat: 9 + i}
+	}
+	b.Run("replay_pipelined_x8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range grid {
+				if _, err := Replay(tc.p, tr, cfg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("replay_batch_x8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ReplayBatch(tc.p, tr, grid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

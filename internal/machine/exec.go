@@ -146,6 +146,12 @@ type vm struct {
 
 	alat *alat
 
+	// per-depth call scratch: activations nest strictly, so frame-local
+	// buffers (registers, NaT bits, scoreboard, outgoing args) are
+	// reused by depth instead of allocated per dynamic call — on
+	// call-heavy programs the allocations dominate recording cost
+	scratch []callScratch
+
 	args []int64
 
 	steps   int64
@@ -232,6 +238,29 @@ func boolToU64(b bool) uint64 {
 	return 0
 }
 
+// callScratch holds one nesting depth's reusable frame buffers.
+type callScratch struct {
+	regs  []uint64
+	nat   []bool
+	ready []int64
+	args  []uint64
+}
+
+// grow returns s's buffers resized (and zeroed where the VM relies on
+// zero initialization) for a frame of n registers.
+func (s *callScratch) grow(n int) (regs []uint64, nat []bool) {
+	if cap(s.regs) < n {
+		s.regs = make([]uint64, n)
+		s.nat = make([]bool, n)
+	} else {
+		s.regs = s.regs[:n]
+		s.nat = s.nat[:n]
+		clear(s.regs)
+		clear(s.nat)
+	}
+	return s.regs, s.nat
+}
+
 // call runs one function activation and returns (value, hadValue).
 func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 	if m.depth >= m.cfg.MaxCallDepth {
@@ -255,11 +284,17 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 		m.stackTop = base
 		m.depth--
 	}()
-	regs := make([]uint64, f.NumRegs)
-	nat := make([]bool, f.NumRegs)
+	if m.depth > len(m.scratch) {
+		m.scratch = append(m.scratch, callScratch{})
+	}
+	sc := &m.scratch[m.depth-1]
+	regs, nat := sc.grow(f.NumRegs)
 	var ready []int64
 	if m.cfg.Pipelined {
-		ready = make([]int64, f.NumRegs)
+		if cap(sc.ready) < f.NumRegs {
+			sc.ready = make([]int64, f.NumRegs)
+		}
+		ready = sc.ready[:f.NumRegs]
 		m.clock += int64(m.cfg.CallOverhead)
 		for i := range ready {
 			ready[i] = m.clock
@@ -579,7 +614,13 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			if !ok {
 				return 0, false, m.fault("call to unknown function %q", ins.Fn)
 			}
-			args := make([]uint64, len(ins.ArgRegs))
+			// the callee copies args into its registers in its prologue,
+			// before its own first call, so one outgoing buffer per
+			// nesting depth is safe to reuse
+			if cap(sc.args) < len(ins.ArgRegs) {
+				sc.args = make([]uint64, len(ins.ArgRegs))
+			}
+			args := sc.args[:len(ins.ArgRegs)]
 			for i, r := range ins.ArgRegs {
 				args[i] = regs[r]
 			}

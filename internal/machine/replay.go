@@ -133,6 +133,19 @@ type alatSummary struct {
 	missInt   int64
 	missFP    int64
 	evictions int64
+
+	// missBits has one bit per check event in program order (set =
+	// miss). The serial path only needs the totals above; the batched
+	// pipelined walk needs each check's outcome to pick that event's
+	// latency, and reading a precomputed bit is far cheaper than
+	// re-simulating a table per distinct capacity inside the
+	// instruction walk.
+	missBits []uint64
+	checks   int64
+}
+
+func (s *alatSummary) miss(ord int64) bool {
+	return s.missBits[ord>>6]&(1<<uint(ord&63)) != 0
 }
 
 // alatWalk replays just the recorded ALAT event stream against a table
@@ -142,26 +155,38 @@ func (t *Trace) alatWalk(size int) alatSummary {
 		return v.(alatSummary)
 	}
 	a := newALAT(size)
-	r := opReader{t: &t.ops}
-	var s alatSummary
-	for {
-		op, ok := r.next()
-		if !ok {
-			break
+	s := alatSummary{
+		missBits: make([]uint64, (t.counts[cCheckInt]+t.counts[cCheckFP]+63)/64),
+	}
+	// iterate the columnar chunks directly — the walk touches every
+	// event, so the per-event cursor bookkeeping of opReader is pure
+	// overhead here
+	remaining := t.ops.n
+	for ci := 0; remaining > 0; ci++ {
+		end := int64(opChunkLen)
+		if remaining < end {
+			end = remaining
 		}
-		switch op.kind {
-		case opInval:
-			a.invalidate(int(op.addr))
-		case opInsert:
-			a.insert(op.frameID, int(op.reg), int(op.addr))
-		default: // opCheckInt, opCheckFP
-			if !a.check(op.frameID, int(op.reg), int(op.addr)) {
-				if op.kind == opCheckFP {
-					s.missFP++
-				} else {
-					s.missInt++
+		remaining -= end
+		kinds, regs, frames, addrs := t.ops.kinds[ci], t.ops.regs[ci], t.ops.frames[ci], t.ops.addrs[ci]
+		for off := 0; off < int(end); off++ {
+			switch kinds[off] {
+			case opInval:
+				a.invalidate(int(addrs[off]))
+			case opInsert:
+				a.insert(frames[off], int(regs[off]), int(addrs[off]))
+			default: // opCheckInt, opCheckFP
+				ord := s.checks
+				s.checks++
+				if !a.check(frames[off], int(regs[off]), int(addrs[off])) {
+					s.missBits[ord>>6] |= 1 << uint(ord&63)
+					if kinds[off] == opCheckFP {
+						s.missFP++
+					} else {
+						s.missInt++
+					}
+					a.insert(frames[off], int(regs[off]), int(addrs[off]))
 				}
-				a.insert(op.frameID, int(op.reg), int(op.addr))
 			}
 		}
 	}

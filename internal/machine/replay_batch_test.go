@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestReplayBatchMatchesReplay is the machine-level differential test
+// for the batched timing engine: for every program in the replay zoo,
+// ReplayBatch over the whole sweep grid must agree field-for-field with
+// per-config Replay (and so, via TestReplayMatchesDirectExecution, with
+// direct Run) — regardless of how the batch mixes serial and pipelined
+// points or duplicates configs.
+func TestReplayBatchMatchesReplay(t *testing.T) {
+	for name, tc := range replayPrograms() {
+		tr, err := Record(tc.p, tc.args, Config{})
+		if err != nil {
+			t.Fatalf("%s: record: %v", name, err)
+		}
+		cfgs := replaySweep()
+		// duplicate a pipelined config: identical lanes must not perturb
+		// each other's scoreboards
+		cfgs = append(cfgs, Config{Pipelined: true}, Config{Pipelined: true})
+		batch, err := ReplayBatch(tc.p, tr, cfgs)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", name, err)
+		}
+		if len(batch) != len(cfgs) {
+			t.Fatalf("%s: %d results for %d configs", name, len(batch), len(cfgs))
+		}
+		for i, cfg := range cfgs {
+			single, err := Replay(tc.p, tr, cfg, nil)
+			if err != nil {
+				t.Fatalf("%s %+v: replay: %v", name, cfg, err)
+			}
+			if !reflect.DeepEqual(single, batch[i]) {
+				t.Errorf("%s %+v:\nreplay %+v\nbatch  %+v", name, cfg, single, batch[i])
+			}
+		}
+	}
+}
+
+// TestReplayBatchFaultParity pins the batch's error contract: a config
+// with tightened limits faults with exactly the single-replay error, a
+// layout mismatch anywhere in the batch is refused with
+// ErrTraceMismatch, and an empty batch is a no-op.
+func TestReplayBatchFaultParity(t *testing.T) {
+	tc := replayPrograms()["fib"]
+	tr, err := Record(tc.p, tc.args, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	small := Config{MaxSteps: 50}
+	_, singleErr := Replay(tc.p, tr, small, nil)
+	_, batchErr := ReplayBatch(tc.p, tr, []Config{{}, small})
+	if singleErr == nil || batchErr == nil {
+		t.Fatalf("step limit should fault: single=%v batch=%v", singleErr, batchErr)
+	}
+	if singleErr.Error() != batchErr.Error() {
+		t.Errorf("step-limit errors differ: single %q, batch %q", singleErr, batchErr)
+	}
+
+	if _, err := ReplayBatch(tc.p, tr, []Config{{}, {StackSlots: 64}}); !errors.Is(err, ErrTraceMismatch) {
+		t.Errorf("layout mismatch not refused: %v", err)
+	}
+
+	res, err := ReplayBatch(tc.p, tr, nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: %v, %d results", err, len(res))
+	}
+}

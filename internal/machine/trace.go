@@ -103,32 +103,65 @@ type alatOp struct {
 	kind    uint8
 }
 
-// opChunks is an append-only chunked ALAT-event stream.
+// opChunks is an append-only chunked ALAT-event stream in columnar
+// (struct-of-arrays) layout: each event field lives in its own parallel
+// chunk array. The ALAT re-simulation walks kinds/regs/frames/addrs as
+// four contiguous streams instead of striding over a 24-byte struct, so
+// both the memoized serial walk and the batched replay stay in cache.
 type opChunks struct {
-	chunks [][]alatOp
+	kinds  [][]uint8
+	regs   [][]int32
+	frames [][]int64
+	addrs  [][]int64
 	n      int64
 }
 
 func (a *opChunks) append(op alatOp) {
 	ci := int(a.n) / opChunkLen
-	if ci == len(a.chunks) {
-		a.chunks = append(a.chunks, make([]alatOp, 0, opChunkLen))
+	if ci == len(a.kinds) {
+		a.kinds = append(a.kinds, make([]uint8, 0, opChunkLen))
+		a.regs = append(a.regs, make([]int32, 0, opChunkLen))
+		a.frames = append(a.frames, make([]int64, 0, opChunkLen))
+		a.addrs = append(a.addrs, make([]int64, 0, opChunkLen))
 	}
-	a.chunks[ci] = append(a.chunks[ci], op)
+	a.kinds[ci] = append(a.kinds[ci], op.kind)
+	a.regs[ci] = append(a.regs[ci], op.reg)
+	a.frames[ci] = append(a.frames[ci], op.frameID)
+	a.addrs[ci] = append(a.addrs[ci], op.addr)
 	a.n++
 }
 
-// opReader is one replay's private cursor over an opChunks stream.
+// opReader is one replay's private cursor over an opChunks stream. It
+// caches the current chunk's column slices so the per-event hot path is
+// four contiguous indexed loads, re-sliced only at chunk boundaries.
 type opReader struct {
-	t   *opChunks
-	pos int64
+	t      *opChunks
+	pos    int64
+	chunk  int // cached chunk index; -1 before first read
+	kinds  []uint8
+	regs   []int32
+	frames []int64
+	addrs  []int64
 }
 
 func (r *opReader) next() (op alatOp, ok bool) {
 	if r.pos >= r.t.n {
 		return alatOp{}, false
 	}
-	op = r.t.chunks[int(r.pos)/opChunkLen][int(r.pos)%opChunkLen]
+	ci, off := int(r.pos)/opChunkLen, int(r.pos)%opChunkLen
+	if r.kinds == nil || ci != r.chunk {
+		r.chunk = ci
+		r.kinds = r.t.kinds[ci]
+		r.regs = r.t.regs[ci]
+		r.frames = r.t.frames[ci]
+		r.addrs = r.t.addrs[ci]
+	}
+	op = alatOp{
+		kind:    r.kinds[off],
+		reg:     r.regs[off],
+		frameID: r.frames[off],
+		addr:    r.addrs[off],
+	}
 	r.pos++
 	return op, true
 }
@@ -195,6 +228,20 @@ type Trace struct {
 // Events reports the number of recorded events (bits plus ALAT ops),
 // a size proxy for tests and observability.
 func (t *Trace) Events() int64 { return t.bits.n + t.ops.n }
+
+// Bytes reports the in-memory footprint of the trace's event streams:
+// allocated chunks times chunk size, for the bitstream and each ALAT
+// event column, plus the retained output string. It is an accounting
+// figure for cache budgeting (the specd_trace_bytes gauge), not an
+// exact heap measurement.
+func (t *Trace) Bytes() int64 {
+	b := int64(len(t.bits.chunks)) * bitChunkWords * 8
+	b += int64(len(t.ops.kinds)) * opChunkLen * 1
+	b += int64(len(t.ops.regs)) * opChunkLen * 4
+	b += int64(len(t.ops.frames)) * opChunkLen * 8
+	b += int64(len(t.ops.addrs)) * opChunkLen * 8
+	return b + int64(len(t.Output))
+}
 
 // Record executes prog functionally under cfg (latency fields are
 // irrelevant; limits and StackSlots are honoured) and returns the

@@ -160,6 +160,12 @@ func (m *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 	}
 
+	// resident size of the decoded traces the record-and-replay path
+	// keeps in the memory tier (a gauge: eviction and Reset shrink it)
+	fmt.Fprintf(w, "# HELP specd_trace_bytes Decoded machine traces resident in the in-memory cache tier, in bytes.\n")
+	fmt.Fprintf(w, "# TYPE specd_trace_bytes gauge\n")
+	fmt.Fprintf(w, "specd_trace_bytes %d\n", repro.TraceCacheBytes())
+
 	// speculation counters summed over every completed request — the
 	// live view of the paper's Fig. 10/11 quantities
 	for _, c := range []struct {

@@ -14,11 +14,11 @@ func legalize(fn *ir.Func) {
 		var out []ir.Stmt
 		emitLoad := func(r *ir.Ref) *ir.Ref {
 			t := fn.NewTemp(r.Sym.Type)
-			out = append(out, &ir.Assign{
-				Dst: &ir.Ref{Sym: t}, RK: ir.RHSCopy, A: &ir.Ref{Sym: r.Sym},
+			out = append(out, fn.NewAssign(ir.Assign{
+				Dst: fn.NewRef(t, 0), RK: ir.RHSCopy, A: fn.NewRef(r.Sym, 0),
 				LoadsFrom: r.Sym.Type, Site: fn.Prog().NextSite(),
-			})
-			return &ir.Ref{Sym: t}
+			}))
+			return fn.NewRef(t, 0)
 		}
 		fix := func(op ir.Operand) ir.Operand {
 			if r, ok := op.(*ir.Ref); ok && r.Sym.InMemory() {
@@ -89,9 +89,9 @@ func legalize(fn *ir.Func) {
 		fn.Params = fn.Params[:len(fn.Params)-1] // NewSym appended it
 		fn.Params[i] = shadow
 		p.Kind = ir.SymLocal
-		prologue = append(prologue, &ir.Assign{
-			Dst: &ir.Ref{Sym: p}, RK: ir.RHSCopy, A: &ir.Ref{Sym: shadow},
-		})
+		prologue = append(prologue, fn.NewAssign(ir.Assign{
+			Dst: fn.NewRef(p, 0), RK: ir.RHSCopy, A: fn.NewRef(shadow, 0),
+		}))
 	}
 	if len(prologue) > 0 {
 		fn.Entry.Stmts = append(prologue, fn.Entry.Stmts...)

@@ -181,9 +181,9 @@ func (lw *lowerer) lowerFunc(fd *FuncDecl) error {
 
 func zeroOf(t *ir.Type) ir.Operand {
 	if t.Kind == ir.KFloat {
-		return &ir.ConstFloat{Val: 0}
+		return ir.FloatConst(0)
 	}
-	return &ir.ConstInt{Val: 0}
+	return ir.IntConst(0)
 }
 
 func (lw *lowerer) stmt(s Stmt) error {
@@ -247,7 +247,7 @@ func (lw *lowerer) declStmt(d *VarDecl) error {
 		if err != nil {
 			return err
 		}
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: sym}, RK: ir.RHSCopy, A: val})
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(sym, 0), RK: ir.RHSCopy, A: val}))
 	}
 	return nil
 }
@@ -318,10 +318,10 @@ func (lw *lowerer) assign(e *AssignExpr) error {
 		return err
 	}
 	if lv.sym != nil {
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: lv.sym}, RK: ir.RHSCopy, A: rhs})
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(lv.sym, 0), RK: ir.RHSCopy, A: rhs}))
 		return nil
 	}
-	lw.emit(&ir.IStore{Addr: lv.addr, Val: rhs, StoresTo: lv.typ, Site: lw.prog.NextSite()})
+	lw.emit(lw.fn.NewIStore(ir.IStore{Addr: lv.addr, Val: rhs, StoresTo: lv.typ, Site: lw.prog.NextSite()}))
 	return nil
 }
 
@@ -331,8 +331,8 @@ func (lw *lowerer) readLValue(lv lvalue, line int) (ir.Operand, error) {
 		return lw.readVar(lv.sym), nil
 	}
 	t := lw.fn.NewTemp(lv.typ)
-	lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSLoad, A: lv.addr, LoadsFrom: lv.typ, Site: lw.prog.NextSite()})
-	return &ir.Ref{Sym: t}, nil
+	lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSLoad, A: lv.addr, LoadsFrom: lv.typ, Site: lw.prog.NextSite()}))
+	return lw.fn.NewRef(t, 0), nil
 }
 
 // readVar produces an operand holding the value of a variable. Reads of
@@ -343,14 +343,14 @@ func (lw *lowerer) readVar(sym *ir.Sym) ir.Operand {
 	if sym.Kind == ir.SymGlobal {
 		// Globals are always memory-resident: emit a direct load.
 		t := lw.fn.NewTemp(sym.Type)
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSCopy, A: &ir.Ref{Sym: sym}, LoadsFrom: sym.Type})
-		return &ir.Ref{Sym: t}
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSCopy, A: lw.fn.NewRef(sym, 0), LoadsFrom: sym.Type}))
+		return lw.fn.NewRef(t, 0)
 	}
 	// Locals: whether the symbol ends up memory-resident depends on
 	// AddrTaken, which is only final after the whole function is lowered.
 	// Using the Ref directly is correct either way: later phases treat a
 	// Ref to a memory-resident scalar in RHSCopy position as a load.
-	return &ir.Ref{Sym: sym}
+	return lw.fn.NewRef(sym, 0)
 }
 
 func (lw *lowerer) lvalue(e Expr) (lvalue, error) {
@@ -482,7 +482,7 @@ func (lw *lowerer) addressOf(lv lvalue, line int) (ir.Operand, error) {
 		return nil, lw.errf(line, "cannot take address of temporary")
 	}
 	sym.AddrTaken = true
-	return &ir.AddrOf{Sym: sym}, nil
+	return lw.fn.NewAddrOf(sym), nil
 }
 
 func (lw *lowerer) indexLValue(x *Index) (lvalue, error) {
@@ -501,12 +501,12 @@ func (lw *lowerer) indexLValue(x *Index) (lvalue, error) {
 	scaled := idx
 	if sz := elem.Size(); sz != 1 {
 		t := lw.fn.NewTemp(ir.IntType)
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSBinary, Op: ir.OpMul, A: idx, B: &ir.ConstInt{Val: int64(sz)}})
-		scaled = &ir.Ref{Sym: t}
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSBinary, Op: ir.OpMul, A: idx, B: ir.IntConst(int64(sz))}))
+		scaled = lw.fn.NewRef(t, 0)
 	}
 	t := lw.fn.NewTemp(ir.PtrTo(elem))
-	lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSBinary, Op: ir.OpAdd, A: base, B: scaled})
-	return lvalue{addr: &ir.Ref{Sym: t}, typ: elem}, nil
+	lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSBinary, Op: ir.OpAdd, A: base, B: scaled}))
+	return lvalue{addr: lw.fn.NewRef(t, 0), typ: elem}, nil
 }
 
 func (lw *lowerer) fieldLValue(x *FieldSel) (lvalue, error) {
@@ -542,13 +542,13 @@ func (lw *lowerer) fieldLValue(x *FieldSel) (lvalue, error) {
 	}
 	t := lw.fn.NewTemp(ir.PtrTo(fld.Type))
 	if fld.Off != 0 {
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSBinary, Op: ir.OpAdd, A: base, B: &ir.ConstInt{Val: int64(fld.Off)}})
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSBinary, Op: ir.OpAdd, A: base, B: ir.IntConst(int64(fld.Off))}))
 	} else {
 		// offset 0: same address, but the static type becomes a pointer
 		// to the field
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSCopy, A: base})
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSCopy, A: base}))
 	}
-	return lvalue{addr: &ir.Ref{Sym: t}, typ: fld.Type}, nil
+	return lvalue{addr: lw.fn.NewRef(t, 0), typ: fld.Type}, nil
 }
 
 // rvalue lowers an expression to a leaf operand, emitting statements for
@@ -556,9 +556,9 @@ func (lw *lowerer) fieldLValue(x *FieldSel) (lvalue, error) {
 func (lw *lowerer) rvalue(e Expr) (ir.Operand, error) {
 	switch x := e.(type) {
 	case *IntLit:
-		return &ir.ConstInt{Val: x.Val}, nil
+		return ir.IntConst(x.Val), nil
 	case *FloatLit:
-		return &ir.ConstFloat{Val: x.Val}, nil
+		return ir.FloatConst(x.Val), nil
 	case *Ident:
 		sym := lw.lookup(x.Name)
 		if sym == nil {
@@ -568,7 +568,7 @@ func (lw *lowerer) rvalue(e Expr) (ir.Operand, error) {
 			// array decays to pointer
 			if sym.Type.Kind == ir.KArray {
 				sym.AddrTaken = true
-				return &ir.AddrOf{Sym: sym}, nil
+				return lw.fn.NewAddrOf(sym), nil
 			}
 			return nil, lw.errf(x.Line, "cannot use aggregate %q as a value", x.Name)
 		}
@@ -616,16 +616,16 @@ func (lw *lowerer) unary(x *Unary) (ir.Operand, error) {
 			return nil, err
 		}
 		t := lw.fn.NewTemp(v.Type())
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSUnary, Op: ir.OpNeg, A: v})
-		return &ir.Ref{Sym: t}, nil
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSUnary, Op: ir.OpNeg, A: v}))
+		return lw.fn.NewRef(t, 0), nil
 	case "!":
 		v, err := lw.rvalue(x.X)
 		if err != nil {
 			return nil, err
 		}
 		t := lw.fn.NewTemp(ir.IntType)
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSUnary, Op: ir.OpNot, A: v})
-		return &ir.Ref{Sym: t}, nil
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSUnary, Op: ir.OpNot, A: v}))
+		return lw.fn.NewRef(t, 0), nil
 	case "*":
 		lv, err := lw.lvalue(x)
 		if err != nil {
@@ -749,8 +749,8 @@ func (lw *lowerer) binary(op ir.Op, l, r ir.Operand, line int) (ir.Operand, erro
 		resType = ir.IntType
 	}
 	t := lw.fn.NewTemp(resType)
-	lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSBinary, Op: op, A: l, B: r})
-	return &ir.Ref{Sym: t}, nil
+	lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSBinary, Op: op, A: l, B: r}))
+	return lw.fn.NewRef(t, 0), nil
 }
 
 func (lw *lowerer) scaleIndex(idx ir.Operand, elem *ir.Type) ir.Operand {
@@ -759,8 +759,8 @@ func (lw *lowerer) scaleIndex(idx ir.Operand, elem *ir.Type) ir.Operand {
 		return idx
 	}
 	t := lw.fn.NewTemp(ir.IntType)
-	lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSBinary, Op: ir.OpMul, A: idx, B: &ir.ConstInt{Val: int64(sz)}})
-	return &ir.Ref{Sym: t}
+	lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSBinary, Op: ir.OpMul, A: idx, B: ir.IntConst(int64(sz))}))
+	return lw.fn.NewRef(t, 0)
 }
 
 // shortCircuit lowers && and || with control flow into a 0/1 temporary.
@@ -785,7 +785,7 @@ func (lw *lowerer) shortCircuit(x *Binary) (ir.Operand, error) {
 	if x.Op == "||" {
 		shortVal = 1
 	}
-	lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: res}, RK: ir.RHSCopy, A: &ir.ConstInt{Val: shortVal}})
+	lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(res, 0), RK: ir.RHSCopy, A: ir.IntConst(shortVal)}))
 	lw.jump(join)
 
 	lw.cur = evalR
@@ -794,11 +794,11 @@ func (lw *lowerer) shortCircuit(x *Binary) (ir.Operand, error) {
 		return nil, err
 	}
 	// normalize to 0/1
-	lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: res}, RK: ir.RHSBinary, Op: ir.OpNe, A: r, B: zeroOf(r.Type())})
+	lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(res, 0), RK: ir.RHSBinary, Op: ir.OpNe, A: r, B: zeroOf(r.Type())}))
 	lw.jump(join)
 
 	lw.cur = join
-	return &ir.Ref{Sym: res}, nil
+	return lw.fn.NewRef(res, 0), nil
 }
 
 // convert coerces an operand to the target type, inserting conversions.
@@ -810,18 +810,18 @@ func (lw *lowerer) convert(v ir.Operand, to *ir.Type, line int) (ir.Operand, err
 	switch {
 	case from.Kind == ir.KInt && to.Kind == ir.KFloat:
 		if c, ok := v.(*ir.ConstInt); ok {
-			return &ir.ConstFloat{Val: float64(c.Val)}, nil
+			return ir.FloatConst(float64(c.Val)), nil
 		}
 		t := lw.fn.NewTemp(ir.FloatType)
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSUnary, Op: ir.OpIntToFloat, A: v})
-		return &ir.Ref{Sym: t}, nil
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSUnary, Op: ir.OpIntToFloat, A: v}))
+		return lw.fn.NewRef(t, 0), nil
 	case from.Kind == ir.KFloat && to.Kind == ir.KInt:
 		if c, ok := v.(*ir.ConstFloat); ok {
-			return &ir.ConstInt{Val: int64(c.Val)}, nil
+			return ir.IntConst(int64(c.Val)), nil
 		}
 		t := lw.fn.NewTemp(ir.IntType)
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSUnary, Op: ir.OpFloatToInt, A: v})
-		return &ir.Ref{Sym: t}, nil
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSUnary, Op: ir.OpFloatToInt, A: v}))
+		return lw.fn.NewRef(t, 0), nil
 	case from.Kind == ir.KPtr && to.Kind == ir.KPtr:
 		// void* (malloc) converts freely; other pointer conversions need a cast
 		if from.Elem.Kind == ir.KVoid || to.Elem.Kind == ir.KVoid {
@@ -838,8 +838,8 @@ func (lw *lowerer) convert(v ir.Operand, to *ir.Type, line int) (ir.Operand, err
 // type (pointer casts). It copies through a temp so types stay accurate.
 func retype(lw *lowerer, v ir.Operand, to *ir.Type) ir.Operand {
 	t := lw.fn.NewTemp(to)
-	lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSCopy, A: v})
-	return &ir.Ref{Sym: t}
+	lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSCopy, A: v}))
+	return lw.fn.NewRef(t, 0)
 }
 
 func (lw *lowerer) cast(x *Cast) (ir.Operand, error) {
@@ -879,8 +879,8 @@ func (lw *lowerer) call(x *CallExpr, stmtPos bool) (ir.Operand, error) {
 			return nil, lw.errf(x.Line, "malloc size must be int")
 		}
 		t := lw.fn.NewTemp(ir.PtrTo(ir.VoidType))
-		lw.emit(&ir.Assign{Dst: &ir.Ref{Sym: t}, RK: ir.RHSAlloc, A: n, AllocSite: lw.prog.NextSite()})
-		return &ir.Ref{Sym: t}, nil
+		lw.emit(lw.fn.NewAssign(ir.Assign{Dst: lw.fn.NewRef(t, 0), RK: ir.RHSAlloc, A: n, AllocSite: lw.prog.NextSite()}))
+		return lw.fn.NewRef(t, 0), nil
 	case "print":
 		var args []ir.Operand
 		for _, a := range x.Args {
@@ -890,7 +890,7 @@ func (lw *lowerer) call(x *CallExpr, stmtPos bool) (ir.Operand, error) {
 			}
 			args = append(args, v)
 		}
-		lw.emit(&ir.Print{Args: args})
+		lw.emit(lw.fn.NewPrint(ir.Print{Args: args}))
 		return nil, nil
 	case "arg":
 		// arg(i): the i-th host-supplied input parameter (0 if absent).
@@ -902,8 +902,8 @@ func (lw *lowerer) call(x *CallExpr, stmtPos bool) (ir.Operand, error) {
 			return nil, err
 		}
 		t := lw.fn.NewTemp(ir.IntType)
-		lw.emit(&ir.Call{Fn: "arg", Args: []ir.Operand{i}, Dst: &ir.Ref{Sym: t}, Site: lw.prog.NextSite()})
-		return &ir.Ref{Sym: t}, nil
+		lw.emit(lw.fn.NewCall(ir.Call{Fn: "arg", Args: []ir.Operand{i}, Dst: lw.fn.NewRef(t, 0), Site: lw.prog.NextSite()}))
+		return lw.fn.NewRef(t, 0), nil
 	}
 	fd, ok := lw.funcs[x.Name]
 	if !ok {
@@ -926,9 +926,9 @@ func (lw *lowerer) call(x *CallExpr, stmtPos bool) (ir.Operand, error) {
 	}
 	var dst *ir.Ref
 	if fd.Ret.Kind != ir.KVoid && !stmtPos {
-		dst = &ir.Ref{Sym: lw.fn.NewTemp(fd.Ret)}
+		dst = lw.fn.NewRef(lw.fn.NewTemp(fd.Ret), 0)
 	}
-	lw.emit(&ir.Call{Fn: x.Name, Args: args, Dst: dst, Site: lw.prog.NextSite()})
+	lw.emit(lw.fn.NewCall(ir.Call{Fn: x.Name, Args: args, Dst: dst, Site: lw.prog.NextSite()}))
 	if dst == nil {
 		if fd.Ret.Kind == ir.KVoid && !stmtPos {
 			return nil, lw.errf(x.Line, "void function %q used as a value", x.Name)

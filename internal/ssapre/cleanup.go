@@ -40,26 +40,35 @@ func copyProp(fn *ir.Func, preTemps map[*ir.Sym]bool) {
 		return
 	}
 	resolve := func(op ir.Operand) ir.Operand {
+		r, ok := op.(*ir.Ref)
+		if !ok {
+			return op
+		}
+		// walk the chain on (sym, ver) and materialize a single new Ref at
+		// the end; use sites must not share one Ref object (out-of-SSA
+		// rewrites refs in place)
+		sym, ver := r.Sym, r.Ver
+		changed := false
 		for i := 0; i < 64; i++ {
-			r, ok := op.(*ir.Ref)
+			next, ok := copies[sv{Sym: sym, Ver: ver}]
 			if !ok {
-				return op
+				break
 			}
-			next, ok := copies[sv{Sym: r.Sym, Ver: r.Ver}]
-			if !ok {
-				return op
-			}
-			// don't change the value's type through an untyped copy chain
 			if nr, isRef := next.(*ir.Ref); isRef {
-				op = &ir.Ref{Sym: nr.Sym, Ver: nr.Ver}
+				sym, ver = nr.Sym, nr.Ver
+				changed = true
 			} else {
-				if !next.Type().Equal(r.Type()) {
-					return op
+				// don't change the value's type through an untyped copy chain
+				if !next.Type().Equal(sym.Type) {
+					break
 				}
 				return next
 			}
 		}
-		return op
+		if !changed {
+			return op
+		}
+		return fn.NewRef(sym, ver)
 	}
 	fix := func(op ir.Operand) ir.Operand {
 		if op == nil {
@@ -152,9 +161,7 @@ func dce(fn *ir.Func, keep map[*ir.Sym]bool) {
 			if isAssign && removable(a) {
 				continue
 			}
-			for _, op := range ir.Uses(st) {
-				markOp(op)
-			}
+			ir.EachUse(st, markOp)
 		}
 		if b.Term.Cond != nil {
 			markOp(b.Term.Cond)
@@ -168,9 +175,7 @@ func dce(fn *ir.Func, keep map[*ir.Sym]bool) {
 		k := work[len(work)-1]
 		work = work[:len(work)-1]
 		if a, ok := defStmt[k]; ok {
-			for _, op := range ir.Uses(a) {
-				markOp(op)
-			}
+			ir.EachUse(a, markOp)
 		}
 		if phi, ok := defPhi[k]; ok {
 			for _, arg := range phi.Args {
@@ -191,7 +196,8 @@ func dce(fn *ir.Func, keep map[*ir.Sym]bool) {
 	}
 
 	for _, b := range fn.Blocks {
-		var phis []*ir.Phi
+		// filter in place: the lists only shrink
+		phis := b.Phis[:0]
 		for _, phi := range b.Phis {
 			if phi.Sym.Kind != ir.SymVirtual && !phi.Sym.InMemory() &&
 				!isLive(phi.Sym, phi.Ver) {
@@ -200,7 +206,7 @@ func dce(fn *ir.Func, keep map[*ir.Sym]bool) {
 			phis = append(phis, phi)
 		}
 		b.Phis = phis
-		var stmts []ir.Stmt
+		stmts := b.Stmts[:0]
 		for _, st := range b.Stmts {
 			if a, ok := st.(*ir.Assign); ok && removable(a) && !isLive(a.Dst.Sym, a.Dst.Ver) {
 				continue

@@ -88,12 +88,12 @@ func (w *web) codeMotion() {
 		vt := newTVer()
 		n.tVer = vt
 		oldDst := o.stmt.Dst
-		o.stmt.Dst = &ir.Ref{Sym: t, Ver: vt}
+		o.stmt.Dst = fn.NewRef(t, vt)
 		if markAdv {
 			o.stmt.Spec.AdvLoad = true
 			w.stats.AdvLoadsMarked++
 		}
-		copyStmt := &ir.Assign{Dst: oldDst, RK: ir.RHSCopy, A: &ir.Ref{Sym: t, Ver: vt}}
+		copyStmt := fn.NewAssign(ir.Assign{Dst: oldDst, RK: ir.RHSCopy, A: fn.NewRef(t, vt)})
 		insertAfter(o.block, o.stmt, copyStmt)
 		w.ssa.Def[core.SymVer{Sym: t, Ver: vt}] = core.Def{Kind: core.DefStmt, Block: o.block, Stmt: o.stmt}
 		w.ssa.Def[core.SymVer{Sym: oldDst.Sym, Ver: oldDst.Ver}] = core.Def{Kind: core.DefStmt, Block: o.block, Stmt: copyStmt}
@@ -107,7 +107,7 @@ func (w *web) codeMotion() {
 		p := n.phi
 		vt := newTVer()
 		n.tVer = vt
-		phi := &ir.Phi{Sym: t, Ver: vt, Args: make([]*ir.Ref, len(p.block.Preds))}
+		phi := fn.NewPhi(ir.Phi{Sym: t, Ver: vt, Args: make([]*ir.Ref, len(p.block.Preds))})
 		p.block.Phis = append(p.block.Phis, phi)
 		w.ssa.Def[core.SymVer{Sym: t, Ver: vt}] = core.Def{Kind: core.DefPhi, Block: p.block, Phi: phi}
 		for j, opnd := range p.opnds {
@@ -130,7 +130,7 @@ func (w *web) codeMotion() {
 				}
 				pred.Stmts = append(pred.Stmts, ins)
 				w.ssa.Def[core.SymVer{Sym: t, Ver: vi}] = core.Def{Kind: core.DefStmt, Block: pred, Stmt: ins}
-				phi.Args[j] = &ir.Ref{Sym: t, Ver: vi}
+				phi.Args[j] = fn.NewRef(t, vi)
 				w.stats.Insertions++
 			case opnd.insCheck:
 				vi := newTVer()
@@ -138,10 +138,10 @@ func (w *web) codeMotion() {
 				ins.Spec.CheckLoad = true
 				pred.Stmts = append(pred.Stmts, ins)
 				w.ssa.Def[core.SymVer{Sym: t, Ver: vi}] = core.Def{Kind: core.DefStmt, Block: pred, Stmt: ins}
-				phi.Args[j] = &ir.Ref{Sym: t, Ver: vi}
+				phi.Args[j] = fn.NewRef(t, vi)
 				w.stats.ChecksInserted++
 			default:
-				phi.Args[j] = &ir.Ref{Sym: t, Ver: opnd.def.tVer}
+				phi.Args[j] = fn.NewRef(t, opnd.def.tVer)
 			}
 		}
 	}
@@ -155,9 +155,9 @@ func (w *web) codeMotion() {
 			// original destination copies from it (Appendix B).
 			vt := newTVer()
 			oldDst := o.stmt.Dst
-			o.stmt.Dst = &ir.Ref{Sym: t, Ver: vt}
+			o.stmt.Dst = fn.NewRef(t, vt)
 			o.stmt.Spec = ir.SpecFlags{CheckLoad: true}
-			copyStmt := &ir.Assign{Dst: oldDst, RK: ir.RHSCopy, A: &ir.Ref{Sym: t, Ver: vt}}
+			copyStmt := fn.NewAssign(ir.Assign{Dst: oldDst, RK: ir.RHSCopy, A: fn.NewRef(t, vt)})
 			insertAfter(o.block, o.stmt, copyStmt)
 			w.ssa.Def[core.SymVer{Sym: t, Ver: vt}] = core.Def{Kind: core.DefStmt, Block: o.block, Stmt: o.stmt}
 			w.ssa.Def[core.SymVer{Sym: oldDst.Sym, Ver: oldDst.Ver}] = core.Def{Kind: core.DefStmt, Block: o.block, Stmt: copyStmt}
@@ -168,7 +168,7 @@ func (w *web) codeMotion() {
 			// plain full redundancy: replace the computation with a copy
 			o.stmt.RK = ir.RHSCopy
 			o.stmt.Op = ir.OpNone
-			o.stmt.A = &ir.Ref{Sym: t, Ver: defVer}
+			o.stmt.A = fn.NewRef(t, defVer)
 			o.stmt.B = nil
 			o.stmt.Mus = nil
 			o.stmt.LoadsFrom = nil
@@ -180,28 +180,30 @@ func (w *web) codeMotion() {
 }
 
 // buildComputation constructs `t_ver = E` with the expression's operands
-// at the given variable versions.
-func (w *web) buildComputation(t *ir.Sym, ver int, vers map[*ir.Sym]int) *ir.Assign {
+// at the given variable versions (parallel to ec.vars; variables outside
+// the set read as version 0).
+func (w *web) buildComputation(t *ir.Sym, ver int, vers []int) *ir.Assign {
+	fn := w.ssa.Fn
 	model := w.ec.occs[0].stmt
 	reVer := func(op ir.Operand) ir.Operand {
 		switch o := op.(type) {
 		case *ir.ConstInt:
-			return &ir.ConstInt{Val: o.Val}
+			return ir.IntConst(o.Val)
 		case *ir.ConstFloat:
-			return &ir.ConstFloat{Val: o.Val}
+			return ir.FloatConst(o.Val)
 		case *ir.AddrOf:
-			return &ir.AddrOf{Sym: o.Sym}
+			return fn.NewAddrOf(o.Sym)
 		case *ir.Ref:
-			return &ir.Ref{Sym: o.Sym, Ver: vers[o.Sym]}
+			return fn.NewRef(o.Sym, w.verAt(vers, o.Sym))
 		}
 		return op
 	}
-	a := &ir.Assign{
-		Dst: &ir.Ref{Sym: t, Ver: ver},
+	a := fn.NewAssign(ir.Assign{
+		Dst: fn.NewRef(t, ver),
 		RK:  model.RK,
 		Op:  model.Op,
 		A:   reVer(w.ec.aTmpl),
-	}
+	})
 	if w.ec.bTmpl != nil {
 		a.B = reVer(w.ec.bTmpl)
 	}
@@ -210,7 +212,7 @@ func (w *web) buildComputation(t *ir.Sym, ver int, vers map[*ir.Sym]int) *ir.Ass
 		w.sites.alloc(a)
 		// rebuild the mu list at the insertion point's versions
 		for _, mu := range model.Mus {
-			a.Mus = append(a.Mus, &ir.Mu{Sym: mu.Sym, Ver: vers[mu.Sym], Spec: mu.Spec})
+			a.Mus = append(a.Mus, fn.NewMu(ir.Mu{Sym: mu.Sym, Ver: w.verAt(vers, mu.Sym), Spec: mu.Spec}))
 		}
 	}
 	return a

@@ -20,8 +20,8 @@ type defNode struct {
 type phiOcc struct {
 	block *ir.Block
 	class int
-	vers  map[*ir.Sym]int // versions of expression variables just after b's φs
-	opnds []*phiOpnd      // parallel to block.Preds
+	vers  []int      // versions of expression variables (parallel to ec.vars) just after b's φs
+	opnds []*phiOpnd // parallel to block.Preds
 
 	downSafe    bool
 	specDS      bool // non-down-safe but control speculation deems insertion profitable
@@ -34,13 +34,13 @@ type phiOcc struct {
 
 // phiOpnd describes the expression value arriving along one incoming edge.
 type phiOpnd struct {
-	def        *defNode        // nil = ⊥ (not available)
-	hasRealUse bool            // latest occurrence of the version on this path is real
-	spec       bool            // availability crosses speculative weak updates
-	vers       map[*ir.Sym]int // variable versions at the end of the predecessor
-	insert     bool            // Finalize: insert computation on this edge
-	insCheck   bool            // insertion is a check load (spec crossing)
-	tVer       int             // temp version feeding the Φ from this edge
+	def        *defNode // nil = ⊥ (not available)
+	hasRealUse bool     // latest occurrence of the version on this path is real
+	spec       bool     // availability crosses speculative weak updates
+	vers       []int    // variable versions (parallel to ec.vars) at the end of the predecessor
+	insert     bool     // Finalize: insert computation on this edge
+	insCheck   bool     // insertion is a check load (spec crossing)
+	tVer       int      // temp version feeding the Φ from this edge
 }
 
 // web is the per-class state threaded through the phases.
@@ -66,14 +66,95 @@ type web struct {
 
 	temp  *ir.Sym // materialization temp (created on demand)
 	stats Stats
+
+	// scratch is shared by every web of one function (webs are built and
+	// consumed sequentially by one goroutine; passes parallelize per
+	// function), amortizing the many small allocations: version
+	// snapshots, defNodes, Φ operand arrays, and walk stacks.
+	scratch *webScratch
 }
 
-func newWeb(ssa *core.SSA, ec *exprClass, opts Options, copies map[core.SymVer]ir.Operand) *web {
-	w := &web{ssa: ssa, ec: ec, opts: opts, phiAt: map[*ir.Block]*phiOcc{}, occSet: map[*ir.Assign]*occurrence{}, copies: copies, sites: &siteAlloc{}}
+// varUndo is one entry of the rename walk's undo log.
+type varUndo struct{ vi, ver int }
+
+// webScratch holds buffers reused across the webs of one function.
+type webScratch struct {
+	intBuf    []int
+	nodeBuf   []defNode
+	opndBuf   []phiOpnd
+	occBlocks []*ir.Block
+	inDF      []bool      // Φ-home marks, indexed by RPONum
+	dfList    []*ir.Block // blocks marked in inDF, in discovery order
+	estack    []renEntry
+	undo      []varUndo
+}
+
+func newWeb(ssa *core.SSA, ec *exprClass, opts Options, copies map[core.SymVer]ir.Operand, scratch *webScratch) *web {
+	w := &web{ssa: ssa, ec: ec, opts: opts, phiAt: map[*ir.Block]*phiOcc{},
+		occSet: make(map[*ir.Assign]*occurrence, len(ec.occs)), copies: copies, sites: &siteAlloc{},
+		scratch: scratch}
 	for _, o := range ec.occs {
 		w.occSet[o.stmt] = o
 	}
 	return w
+}
+
+// vi returns the index of sym in the class's operand-variable list, or -1.
+// The list is tiny (≤3 in practice), so a linear scan beats any map.
+func (w *web) vi(sym *ir.Sym) int {
+	for i, v := range w.ec.vars {
+		if v == sym {
+			return i
+		}
+	}
+	return -1
+}
+
+// verAt reads a version snapshot (parallel to ec.vars); symbols outside
+// the variable set report version 0, matching the old map semantics.
+func (w *web) verAt(vers []int, sym *ir.Sym) int {
+	if i := w.vi(sym); i >= 0 {
+		return vers[i]
+	}
+	return 0
+}
+
+// allocInts hands out a snapshot-sized slice from a shared backing array.
+// The chunks are freshly made, so handed-out slices start zeroed.
+func (w *web) allocInts(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	sc := w.scratch
+	if len(sc.intBuf) < n {
+		sc.intBuf = make([]int, 256+n)
+	}
+	s := sc.intBuf[:n:n]
+	sc.intBuf = sc.intBuf[n:]
+	return s
+}
+
+// newNode allocates a defNode from a chunked arena.
+func (w *web) newNode(n defNode) *defNode {
+	sc := w.scratch
+	if len(sc.nodeBuf) == 0 {
+		sc.nodeBuf = make([]defNode, 64)
+	}
+	p := &sc.nodeBuf[0]
+	sc.nodeBuf = sc.nodeBuf[1:]
+	*p = n
+	return p
+}
+
+// allocOpnds allocates a zeroed phiOpnd array from a chunked arena.
+func (w *web) allocOpnds(n int) []phiOpnd {
+	sc := w.scratch
+	if len(sc.opndBuf) < n {
+		sc.opndBuf = make([]phiOpnd, 64+n)
+	}
+	s := sc.opndBuf[:n:n]
+	sc.opndBuf = sc.opndBuf[n:]
+	return s
 }
 
 // occStillValid re-checks that the collected statement still computes this
@@ -103,26 +184,49 @@ func (w *web) occStillValid(o *occurrence) bool {
 // ---------------------------------------------------------------------
 
 func (w *web) phiInsertion() {
-	blocks := map[*ir.Block]bool{}
-	var occBlocks []*ir.Block
+	// Φ-home set, tracked with RPO-indexed marks plus a discovery-order
+	// list (the old map version iterated in nondeterministic order; the
+	// phases are insensitive to it, class numbering happens in rename's
+	// dominator walk).
+	sc := w.scratch
+	dt := w.ssa.DT
+	if n := len(dt.Order()); len(sc.inDF) < n {
+		sc.inDF = make([]bool, n)
+	} else {
+		for _, b := range sc.dfList {
+			sc.inDF[dt.RPONum(b)] = false
+		}
+	}
+	sc.dfList = sc.dfList[:0]
+	mark := func(b *ir.Block) {
+		if i := dt.RPONum(b); !sc.inDF[i] {
+			sc.inDF[i] = true
+			sc.dfList = append(sc.dfList, b)
+		}
+	}
+	occBlocks := sc.occBlocks[:0]
 	for _, o := range w.ec.occs {
 		occBlocks = append(occBlocks, o.block)
 	}
-	for _, b := range w.ssa.DT.IteratedFrontier(occBlocks) {
-		blocks[b] = true
+	sc.occBlocks = occBlocks[:0]
+	for _, b := range dt.IteratedFrontier(occBlocks) {
+		mark(b)
 	}
 
 	// variable-φ-driven insertion: from each occurrence operand, skip
 	// speculative weak updates; if the def is a variable φ, its block
 	// (and those of φs feeding it, transitively) get an expression Φ.
-	visited := map[*ir.Phi]bool{}
+	var visited map[*ir.Phi]bool
 	var addPhiRec func(phi *ir.Phi, blockOf *ir.Block)
 	addPhiRec = func(phi *ir.Phi, blockOf *ir.Block) {
+		if visited == nil {
+			visited = map[*ir.Phi]bool{}
+		}
 		if visited[phi] {
 			return
 		}
 		visited[phi] = true
-		blocks[blockOf] = true
+		mark(blockOf)
 		for _, arg := range phi.Args {
 			home, _ := w.ssa.SpecHome(phi.Sym, arg.Ver, w.ec.ctx)
 			if d, ok := w.ssa.Def[core.SymVer{Sym: phi.Sym, Ver: home}]; ok && d.Kind == core.DefPhi {
@@ -140,13 +244,14 @@ func (w *web) phiInsertion() {
 		}
 	}
 
-	for b := range blocks {
+	for _, b := range sc.dfList {
 		if len(b.Preds) < 2 {
 			continue // Φ only makes sense at merge points
 		}
 		p := &phiOcc{block: b, class: -1, opnds: make([]*phiOpnd, len(b.Preds)), downSafe: true, canBeAvail: true}
+		backing := w.allocOpnds(len(b.Preds))
 		for i := range p.opnds {
-			p.opnds[i] = &phiOpnd{}
+			p.opnds[i] = &backing[i]
 		}
 		w.phis = append(w.phis, p)
 		w.phiAt[b] = p
@@ -173,48 +278,85 @@ func (e renEntry) classOf() int {
 }
 
 func (w *web) rename() {
-	varTops := map[*ir.Sym]int{}
-	isVar := map[*ir.Sym]bool{}
-	for _, v := range w.ec.vars {
-		isVar[v] = true
-	}
-	var estack []renEntry
+	nv := len(w.ec.vars)
+	varTops := w.allocInts(nv) // zeroed
+	estack := w.scratch.estack[:0]
 
-	// versionsAt returns a copy of the current variable versions.
-	snap := func() map[*ir.Sym]int {
-		m := make(map[*ir.Sym]int, len(w.ec.vars))
-		for _, v := range w.ec.vars {
-			m[v] = varTops[v]
+	// undo log for the dominator walk: touch records the displaced
+	// version, block exit replays the log in reverse. Replaces the old
+	// per-block saved-versions map.
+	undo := w.scratch.undo[:0]
+
+	// scratch snapshots reused across statements (never escape a single
+	// matchVers call)
+	curBuf := w.allocInts(nv)
+	tgtBuf := w.allocInts(nv)
+
+	// snap returns a durable copy of the current variable versions.
+	snap := func() []int {
+		s := w.allocInts(nv)
+		copy(s, varTops)
+		return s
+	}
+
+	occVers := func(o *occurrence, buf []int) []int {
+		for i, v := range w.ec.vars {
+			buf[i] = w.ec.verOf(o, v)
 		}
-		return m
+		return buf
+	}
+
+	topVers := func(top renEntry) []int {
+		if top.occ != nil {
+			return occVers(top.occ, tgtBuf)
+		}
+		return top.phi.vers
 	}
 
 	// matchVers checks whether current versions `cur` denote the same
-	// values as target versions `tgt`: versions are resolved through
-	// pure copy chains (SSA value identity) and, failing that, walked
-	// through speculative weak updates.
-	matchVers := func(cur, tgt map[*ir.Sym]int) (match, spec bool) {
+	// values as target versions `tgt` (both parallel to ec.vars):
+	// versions are resolved through pure copy chains (SSA value identity)
+	// and, failing that, walked through speculative weak updates.
+	matchVers := func(cur, tgt []int) (match, spec bool) {
 		anySpec := false
-		for _, v := range w.ec.vars {
-			cv, tv := cur[v], tgt[v]
+		for i, v := range w.ec.vars {
+			cv, tv := cur[i], tgt[i]
 			if cv == tv {
 				continue
 			}
-			ca := resolveOperand(&ir.Ref{Sym: v, Ver: cv}, w.copies)
-			cb := resolveOperand(&ir.Ref{Sym: v, Ver: tv}, w.copies)
-			if ir.SameOperand(ca, cb) {
-				continue
+			ca := resolveSymVer(v, cv, w.copies)
+			cb := resolveSymVer(v, tv, w.copies)
+			caSym, caVer, caRef := v, cv, true
+			if ca != nil {
+				if r, ok := ca.(*ir.Ref); ok {
+					caSym, caVer = r.Sym, r.Ver
+				} else {
+					caRef = false
+				}
 			}
-			ra, aRef := ca.(*ir.Ref)
-			rb, bRef := cb.(*ir.Ref)
-			if aRef && bRef && ra.Sym == rb.Sym {
-				reaches, sp := w.ssa.SpecReaches(ra.Sym, ra.Ver, rb.Ver, w.ec.ctx)
-				if reaches {
-					if sp {
-						anySpec = true
-					}
+			cbSym, cbVer, cbRef := v, tv, true
+			if cb != nil {
+				if r, ok := cb.(*ir.Ref); ok {
+					cbSym, cbVer = r.Sym, r.Ver
+				} else {
+					cbRef = false
+				}
+			}
+			if caRef && cbRef {
+				if caSym == cbSym && caVer == cbVer {
 					continue
 				}
+				if caSym == cbSym {
+					reaches, sp := w.ssa.SpecReaches(caSym, caVer, cbVer, w.ec.ctx)
+					if reaches {
+						if sp {
+							anySpec = true
+						}
+						continue
+					}
+				}
+			} else if !caRef && !cbRef && ir.SameOperand(ca, cb) {
+				continue
 			}
 			// fall back to the raw chain (vv and memory symbols are
 			// never copied, so this is the common case for them)
@@ -229,25 +371,16 @@ func (w *web) rename() {
 		return true, anySpec
 	}
 
-	occVers := func(o *occurrence) map[*ir.Sym]int {
-		m := make(map[*ir.Sym]int, len(w.ec.vars))
-		for _, v := range w.ec.vars {
-			m[v] = w.ec.verOf(o, v)
-		}
-		return m
-	}
-
 	var walk func(b *ir.Block)
 	walk = func(b *ir.Block) {
-		savedVars := map[*ir.Sym]int{}
+		undoLen := len(undo)
 		touch := func(sym *ir.Sym, ver int) {
-			if !isVar[sym] {
+			vi := w.vi(sym)
+			if vi < 0 {
 				return
 			}
-			if _, saved := savedVars[sym]; !saved {
-				savedVars[sym] = varTops[sym]
-			}
-			varTops[sym] = ver
+			undo = append(undo, varUndo{vi, varTops[vi]})
+			varTops[vi] = ver
 		}
 		stackLen := len(estack)
 
@@ -258,28 +391,23 @@ func (w *web) rename() {
 			p.class = w.nextClass
 			w.nextClass++
 			p.vers = snap()
-			p.node = &defNode{phi: p, class: p.class}
+			p.node = w.newNode(defNode{phi: p, class: p.class})
 			estack = append(estack, renEntry{phi: p})
 		}
 
 		for _, st := range b.Stmts {
 			if a, ok := st.(*ir.Assign); ok {
 				if o := w.occSet[a]; o != nil && w.occStillValid(o) {
-					cur := occVers(o)
+					cur := occVers(o, curBuf)
 					assigned := false
 					if len(estack) > 0 {
 						top := estack[len(estack)-1]
-						var tgt map[*ir.Sym]int
-						if top.occ != nil {
-							tgt = occVers(top.occ)
-						} else {
-							tgt = top.phi.vers
-						}
+						tgt := topVers(top)
 						if match, spec := matchVers(cur, tgt); match {
 							o.class = top.classOf()
 							o.spec = spec
 							if top.occ != nil {
-								o.defOcc = &defNode{real: top.occ, class: o.class}
+								o.defOcc = w.newNode(defNode{real: top.occ, class: o.class})
 							} else {
 								o.defOcc = top.phi.node
 							}
@@ -331,19 +459,14 @@ func (w *web) rename() {
 				continue
 			}
 			top := estack[len(estack)-1]
-			var tgt map[*ir.Sym]int
-			if top.occ != nil {
-				tgt = occVers(top.occ)
-			} else {
-				tgt = top.phi.vers
-			}
+			tgt := topVers(top)
 			match, spec := matchVers(opnd.vers, tgt)
 			if !match {
 				opnd.def = nil
 				continue
 			}
 			if top.occ != nil {
-				opnd.def = &defNode{real: top.occ, class: top.occ.class}
+				opnd.def = w.newNode(defNode{real: top.occ, class: top.occ.class})
 				opnd.hasRealUse = true
 			} else {
 				opnd.def = top.phi.node
@@ -356,11 +479,14 @@ func (w *web) rename() {
 			walk(c)
 		}
 		estack = estack[:stackLen]
-		for sym, ver := range savedVars {
-			varTops[sym] = ver
+		for i := len(undo) - 1; i >= undoLen; i-- {
+			varTops[undo[i].vi] = undo[i].ver
 		}
+		undo = undo[:undoLen]
 	}
 	walk(w.ssa.Fn.Entry)
+	w.scratch.estack = estack[:0]
+	w.scratch.undo = undo[:0]
 }
 
 // ---------------------------------------------------------------------

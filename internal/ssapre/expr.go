@@ -127,7 +127,7 @@ type occurrence struct {
 	// variables at this occurrence (operand leaves are resolved through
 	// pure copy chains so that lexically different temporaries holding
 	// the same SSA value share one expression class).
-	vers map[*ir.Sym]int
+	vers occVerList
 
 	class  int  // h-version assigned by Rename (-1 = unassigned)
 	spec   bool // renamed speculatively: reuse requires a check
@@ -203,12 +203,81 @@ func resolveOperand(op ir.Operand, copies map[core.SymVer]ir.Operand) ir.Operand
 	return op
 }
 
+// resolveSymVer canonicalizes the value (sym, ver) through the copy index
+// without materializing a Ref. A nil result means the version resolves to
+// itself (no copy-chain entry).
+func resolveSymVer(sym *ir.Sym, ver int, copies map[core.SymVer]ir.Operand) ir.Operand {
+	var op ir.Operand
+	for i := 0; i < 64; i++ {
+		next, ok := copies[core.SymVer{Sym: sym, Ver: ver}]
+		if !ok {
+			return op
+		}
+		op = next
+		r, ok := next.(*ir.Ref)
+		if !ok {
+			return op
+		}
+		sym, ver = r.Sym, r.Ver
+	}
+	return op
+}
+
+// occVerList is a tiny sym→version map for one occurrence. Occurrences
+// have at most a handful of operand variables (two operand leaves plus the
+// virtual variables of the mu list), so an inline array beats a map; rare
+// overflow spills to slices.
+type occVerList struct {
+	syms   [3]*ir.Sym
+	vers   [3]int
+	n      int
+	spillS []*ir.Sym
+	spillV []int
+}
+
+func (l *occVerList) set(s *ir.Sym, v int) {
+	for i := 0; i < l.n && i < len(l.syms); i++ {
+		if l.syms[i] == s {
+			l.vers[i] = v
+			return
+		}
+	}
+	for i, ss := range l.spillS {
+		if ss == s {
+			l.spillV[i] = v
+			return
+		}
+	}
+	if l.n < len(l.syms) {
+		l.syms[l.n], l.vers[l.n] = s, v
+		l.n++
+		return
+	}
+	l.spillS = append(l.spillS, s)
+	l.spillV = append(l.spillV, v)
+}
+
+func (l *occVerList) get(s *ir.Sym) int {
+	for i := 0; i < l.n && i < len(l.syms); i++ {
+		if l.syms[i] == s {
+			return l.vers[i]
+		}
+	}
+	for i, ss := range l.spillS {
+		if ss == s {
+			return l.spillV[i]
+		}
+	}
+	return 0
+}
+
 // collectExprs scans the function in dominator-tree preorder and groups
 // PRE candidates into expression classes, canonicalizing operand leaves
 // through copy chains.
 func collectExprs(s *core.SSA, opts Options, synKeys map[ir.Stmt]string, copies map[core.SymVer]ir.Operand) []*exprClass {
 	classes := map[exprKey]*exprClass{}
 	var order []*exprClass
+	var occBuf []occurrence // chunk allocator for occurrences
 
 	visit := func(b *ir.Block) {
 		for i, st := range b.Stmts {
@@ -278,16 +347,21 @@ func collectExprs(s *core.SSA, opts Options, synKeys map[ir.Stmt]string, copies 
 				classes[key] = ec
 				order = append(order, ec)
 			}
-			o := &occurrence{stmt: a, block: b, index: i, class: -1, vers: map[*ir.Sym]int{}}
+			if len(occBuf) == 0 {
+				occBuf = make([]occurrence, 64)
+			}
+			o := &occBuf[0]
+			occBuf = occBuf[1:]
+			*o = occurrence{stmt: a, block: b, index: i, class: -1}
 			if r, ok := ca.(*ir.Ref); ok {
-				o.vers[r.Sym] = r.Ver
+				o.vers.set(r.Sym, r.Ver)
 			}
 			if r, ok := cb.(*ir.Ref); ok {
-				o.vers[r.Sym] = r.Ver
+				o.vers.set(r.Sym, r.Ver)
 			}
 			for _, mu := range a.Mus {
 				if mu.Sym.Kind == ir.SymVirtual {
-					o.vers[mu.Sym] = mu.Ver
+					o.vers.set(mu.Sym, mu.Ver)
 				}
 			}
 			ec.occs = append(ec.occs, o)
@@ -400,7 +474,7 @@ func (ec *exprClass) finish(s *core.SSA, opts Options, synKeys map[ir.Stmt]strin
 
 // verOf returns the canonical version of variable v at occurrence o.
 func (ec *exprClass) verOf(o *occurrence, v *ir.Sym) int {
-	return o.vers[v]
+	return o.vers.get(v)
 }
 
 // isLoad reports whether the expression reads memory (and so participates

@@ -14,7 +14,7 @@ func (w *web) nodeOf(o *occurrence) *defNode {
 	}
 	n := w.occNodes[o]
 	if n == nil {
-		n = &defNode{real: o, class: o.class}
+		n = w.newNode(defNode{real: o, class: o.class})
 		w.occNodes[o] = n
 	}
 	return n

@@ -20,27 +20,31 @@ import (
 func outOfSSA(fn *ir.Func, coalesce map[*ir.Sym]bool) {
 	type sv = core.SymVer
 	mapped := map[sv]*ir.Sym{}
-	symFor := func(r *ir.Ref) *ir.Sym {
-		s := r.Sym
+	symFor := func(s *ir.Sym, ver int) *ir.Sym {
 		if s.InMemory() || s.Kind == ir.SymVirtual || s.Kind == ir.SymGlobal {
 			return s
 		}
-		if coalesce[s] || r.Ver == 0 {
+		if coalesce[s] || ver == 0 {
 			return s
 		}
-		k := sv{Sym: s, Ver: r.Ver}
+		k := sv{Sym: s, Ver: ver}
 		if m, ok := mapped[k]; ok {
 			return m
 		}
-		m := fn.NewSym(fmt.Sprintf("%s.%d", s.Name, r.Ver), s.Type, ir.SymTemp)
+		m := fn.NewSym(fmt.Sprintf("%s.%d", s.Name, ver), s.Type, ir.SymTemp)
 		mapped[k] = m
 		return m
 	}
+	// fixRef rewrites the ref in place: refs are never shared between
+	// distinct operand positions after renaming, and the rewrite is
+	// idempotent anyway (once Ver is 0, symFor maps the sym to itself).
 	fixRef := func(r *ir.Ref) *ir.Ref {
 		if r == nil {
 			return nil
 		}
-		return &ir.Ref{Sym: symFor(r)}
+		r.Sym = symFor(r.Sym, r.Ver)
+		r.Ver = 0
+		return r
 	}
 	fixOp := func(op ir.Operand) ir.Operand {
 		if r, ok := op.(*ir.Ref); ok {
@@ -98,9 +102,9 @@ func outOfSSA(fn *ir.Func, coalesce map[*ir.Sym]bool) {
 			if s.InMemory() || s.Kind == ir.SymVirtual || s.Kind == ir.SymGlobal {
 				continue
 			}
-			dst := symFor(&ir.Ref{Sym: s, Ver: phi.Ver})
+			dst := symFor(s, phi.Ver)
 			for j, pred := range b.Preds {
-				src := symFor(phi.Args[j])
+				src := symFor(phi.Args[j].Sym, phi.Args[j].Ver)
 				if src == dst {
 					continue
 				}
@@ -123,9 +127,9 @@ func outOfSSA(fn *ir.Func, coalesce map[*ir.Sym]bool) {
 				continue
 			}
 			for _, c := range sequentialize(fn, group) {
-				pred.Stmts = append(pred.Stmts, &ir.Assign{
-					Dst: &ir.Ref{Sym: c.dst}, RK: ir.RHSCopy, A: &ir.Ref{Sym: c.src},
-				})
+				pred.Stmts = append(pred.Stmts, fn.NewAssign(ir.Assign{
+					Dst: fn.NewRef(c.dst, 0), RK: ir.RHSCopy, A: fn.NewRef(c.src, 0),
+				}))
 			}
 		}
 	}

@@ -40,7 +40,7 @@ func buildWebs(t *testing.T, src string, mode core.Mode, controlSpec bool, profA
 	classes := collectExprs(ssa, opts, nil, copies)
 	var webs []*web
 	for _, ec := range classes {
-		w := newWeb(ssa, ec, opts, copies)
+		w := newWeb(ssa, ec, opts, copies, &webScratch{})
 		w.preTemps = map[*ir.Sym]bool{}
 		w.phiInsertion()
 		w.rename()

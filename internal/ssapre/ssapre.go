@@ -93,6 +93,7 @@ func runFunc(fn *ir.Func, opts Options, sites *siteAlloc) (*Stats, error) {
 	ssa := core.BuildSSA(fn, virtuals)
 	preTemps := map[*ir.Sym]bool{}
 	checkedTemps := map[*ir.Sym]bool{}
+	scratch := &webScratch{}
 
 	for round := 0; round < opts.Rounds; round++ {
 		copies := buildResolver(fn, checkedTemps)
@@ -100,7 +101,7 @@ func runFunc(fn *ir.Func, opts Options, sites *siteAlloc) (*Stats, error) {
 		stats.ExprClasses += len(classes)
 		any := false
 		for _, ec := range classes {
-			w := newWeb(ssa, ec, opts, copies)
+			w := newWeb(ssa, ec, opts, copies, scratch)
 			w.preTemps = preTemps
 			w.checkedTemps = checkedTemps
 			w.sites = sites

@@ -14,7 +14,10 @@ import (
 // split: for every workload and every Config in the sensitivity sweep
 // grid, the replayed result — cycle counts, every Counters field, and
 // program output — is byte-identical to direct machine execution, at
-// one worker and at eight.
+// one worker and at eight. Evaluate now re-times each trace group
+// through machine.ReplayBatch, so the Evaluate legs below exercise the
+// batched engine end-to-end; the explicit ReplayBatch-vs-Replay leg
+// pins the machine-level contract per workload over the full grid.
 
 func TestReplayEquivalentToDirectOnAllWorkloads(t *testing.T) {
 	if testing.Short() {
@@ -55,6 +58,31 @@ func TestReplayEquivalentToDirectOnAllWorkloads(t *testing.T) {
 			}
 			if !reflect.DeepEqual(serial[i], parallel[i]) {
 				t.Errorf("%s %+v: 8-worker replay != 1-worker replay", w.Name, cfg)
+			}
+		}
+
+		// machine-level leg: one ReplayBatch over the whole grid against
+		// per-config Replay on the same trace
+		tr, err := machine.Record(c.Code, w.RefArgs, machine.Config{})
+		if err != nil {
+			t.Fatalf("%s: record: %v", w.Name, err)
+		}
+		batch, err := machine.ReplayBatch(c.Code, tr, cfgs)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", w.Name, err)
+		}
+		for i, cfg := range cfgs {
+			single, err := machine.Replay(c.Code, tr, cfg, nil)
+			if err != nil {
+				t.Fatalf("%s %+v: replay: %v", w.Name, cfg, err)
+			}
+			if !reflect.DeepEqual(single, batch[i]) {
+				t.Errorf("%s %+v: batch != per-config replay\nreplay %+v\nbatch  %+v",
+					w.Name, cfg, single, batch[i])
+			}
+			if !reflect.DeepEqual(direct[i], batch[i]) {
+				t.Errorf("%s %+v: batch != direct\ndirect %+v\nbatch  %+v",
+					w.Name, cfg, direct[i], batch[i])
 			}
 		}
 	}

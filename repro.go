@@ -275,6 +275,19 @@ func CacheStats() CacheCounters {
 	}
 }
 
+// TraceCacheBytes reports the heap footprint of every decoded
+// *machine.Trace resident in the in-memory cache tier, in bytes. The
+// specd /metrics endpoint exposes it as the specd_trace_bytes gauge so
+// operators can see what record-and-replay reuse costs in memory.
+func TraceCacheBytes() int64 {
+	return compCache.SumObjects(func(v any) int64 {
+		if t, ok := v.(*machine.Trace); ok {
+			return t.Bytes()
+		}
+		return 0
+	})
+}
+
 // SetCacheDir enables the persistent on-disk cache tier under dir
 // (serialized profiles survive the process; a later run warm-starts
 // from them), or disables it when dir is empty. Corrupt or stale
@@ -584,19 +597,100 @@ func (c *Compilation) Evaluate(args []int64, cfgs []machine.Config, workers int)
 }
 
 // EvaluateCtx is Evaluate with cancellation threaded through the
-// per-config fan-out (internal/par) and the trace cache's singleflight:
-// when ctx is done, idle workers stop claiming configs, waiters blocked
+// batched fan-out (internal/par) and the trace cache's singleflight:
+// when ctx is done, idle workers stop claiming batches, waiters blocked
 // on another caller's recording return, and EvaluateCtx itself returns
 // ctx.Err() promptly without waiting for replays already in flight
 // (which finish and are dropped).
+//
+// With tracing enabled the grid is grouped by the non-timing part of
+// each Config — normalized (StackSlots, MaxSteps, MaxCallDepth), which
+// is exactly the trace cache key — and every group re-times through one
+// machine.ReplayBatch call on the group's shared trace, so all the
+// pipelined points of a sweep cost one instruction walk instead of one
+// each. Groups are split into up to `workers` sub-batches to keep the
+// fan-out parallel; per-config results are independent of batch
+// composition (pinned by the differential tests), so worker count never
+// changes the output. Because the grouping key equals the trace key,
+// every config's limits are at least as generous as its own trace's
+// recorded run — a config whose limits fault does so during recording,
+// inside traceFor, exactly as on the unbatched path.
 func (c *Compilation) EvaluateCtx(ctx context.Context, args []int64, cfgs []machine.Config, workers int) ([]*machine.Result, error) {
 	results := make([]*machine.Result, len(cfgs))
-	if err := par.EachCtx(ctx, workers, len(cfgs), func(i int) error {
-		res, err := c.runMachine(ctx, args, cfgs[i])
+	if !TraceEnabled() {
+		if err := par.EachCtx(ctx, workers, len(cfgs), func(i int) error {
+			res, err := c.runMachine(ctx, args, cfgs[i])
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+
+	type traceKey struct {
+		slots int
+		steps int64
+		depth int
+	}
+	groups := make(map[traceKey][]int)
+	var order []traceKey
+	for i, cfg := range cfgs {
+		n := cfg.Normalized()
+		k := traceKey{n.StackSlots, n.MaxSteps, n.MaxCallDepth}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	// split each group into up to `workers` contiguous sub-batches so a
+	// single-group grid still spreads across the pool
+	w := par.Workers(workers)
+	var units [][]int
+	for _, k := range order {
+		idxs := groups[k]
+		nu := w
+		if nu > len(idxs) {
+			nu = len(idxs)
+		}
+		for u := 0; u < nu; u++ {
+			lo, hi := u*len(idxs)/nu, (u+1)*len(idxs)/nu
+			units = append(units, idxs[lo:hi])
+		}
+	}
+	if err := par.EachCtx(ctx, workers, len(units), func(u int) error {
+		idxs := units[u]
+		tr, err := c.traceFor(ctx, args, cfgs[idxs[0]])
 		if err != nil {
+			// the recording run faulted: this is the same error direct
+			// execution under these limits would produce
 			return err
 		}
-		results[i] = res
+		sub := make([]machine.Config, len(idxs))
+		for j, i := range idxs {
+			sub[j] = cfgs[i]
+		}
+		res, err := machine.ReplayBatch(c.Code, tr, sub)
+		if err != nil {
+			if !errors.Is(err, machine.ErrTraceMismatch) {
+				return err
+			}
+			// layout mismatch (cannot happen via this key, but stay safe)
+			for _, i := range idxs {
+				r, rerr := machine.Run(c.Code, args, cfgs[i], nil)
+				if rerr != nil {
+					return rerr
+				}
+				results[i] = r
+			}
+			return nil
+		}
+		for j, i := range idxs {
+			results[i] = res[j]
+		}
 		return nil
 	}); err != nil {
 		return nil, err
