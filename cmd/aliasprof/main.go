@@ -1,6 +1,8 @@
 // Command aliasprof runs the alias-profiling interpreter on a MiniC
-// program and prints the collected LOC sets per indirect reference site,
-// the side-effect sets per call site, and the hottest blocks — the
+// program and prints the collected counted LOC multisets per indirect
+// reference site (observation counts over the site's execution total —
+// the alias probabilities the cost-model policy consumes), the
+// side-effect sets per call site, and the hottest blocks — the
 // information §3.2.1 of the paper feeds back into the compiler.
 //
 // Profiling goes through the compilation cache: with -cache-dir a
@@ -89,6 +91,34 @@ func run() error {
 	}
 
 	keys := ir.SiteSyntaxKeys(prog)
+	siteName := func(s int) string {
+		if name := keys[s]; name != "" {
+			return name
+		}
+		return fmt.Sprintf("site %d", s)
+	}
+	// reference sites render the counted multiset (profile v2): each LOC
+	// with its observation count over the site's execution total — the
+	// p(alias) the cost-model policy (-spec cost) consumes
+	printCounted := func(title string, sets map[int]profile.LocSet) {
+		fmt.Printf("%s:\n", title)
+		var sites []int
+		for s := range sets {
+			sites = append(sites, s)
+		}
+		sort.Ints(sites)
+		for _, s := range sites {
+			set := sets[s]
+			var parts []string
+			for l, n := range set {
+				if n > 0 {
+					parts = append(parts, fmt.Sprintf("%s×%d", l, n))
+				}
+			}
+			sort.Strings(parts)
+			fmt.Printf("  %-40s {%s} of %d execs\n", siteName(s), strings.Join(parts, ", "), prof.Total(s))
+		}
+	}
 	printSets := func(title string, sets map[int]profile.LocSet) {
 		fmt.Printf("%s:\n", title)
 		var sites []int
@@ -97,15 +127,11 @@ func run() error {
 		}
 		sort.Ints(sites)
 		for _, s := range sites {
-			name := keys[s]
-			if name == "" {
-				name = fmt.Sprintf("site %d", s)
-			}
-			fmt.Printf("  %-40s %s\n", name, sets[s])
+			fmt.Printf("  %-40s %s\n", siteName(s), sets[s])
 		}
 	}
-	printSets("indirect load LOC sets", prof.LoadLocs)
-	printSets("indirect store LOC sets", prof.StoreLocs)
+	printCounted("indirect load LOC multisets", prof.LoadLocs)
+	printCounted("indirect store LOC multisets", prof.StoreLocs)
 	printSets("call-site mod sets", prof.CallMod)
 	printSets("call-site ref sets", prof.CallRef)
 

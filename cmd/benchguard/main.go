@@ -1,15 +1,24 @@
-// Command benchguard is the CI perf gate: it compares the sweep
-// speedups of a freshly generated BENCH_machine.json against the
-// committed baseline and exits non-zero when any grid regressed by more
-// than the allowed fraction. Single-pass CI benchmark numbers are
-// noisy, so the default margin is deliberately wide (25%); the guarded
-// speedups sit far above it on any runner, and only a real algorithmic
-// regression (e.g. the batched replay walk falling back to per-config
-// replays) moves them that much.
+// Command benchguard is the CI perf gate. It compares two freshly
+// generated benchmark artifacts against their committed baselines and
+// exits non-zero on a regression beyond the allowed fraction:
+//
+//   - BENCH_machine.json: the per-grid replay-sweep speedups must not
+//     DROP by more than the margin;
+//   - BENCH_compile.json: the compile path's allocs_per_compile and
+//     ns_per_compile must not RISE by more than the margin.
+//
+// Single-pass CI benchmark numbers are noisy, so the default margin is
+// deliberately wide (25%); the guarded quantities sit far inside it on
+// any runner, and only a real algorithmic regression (e.g. the batched
+// replay walk falling back to per-config replays, or a per-site
+// allocation sneaking into the flag-assignment loop) moves them that
+// much.
 //
 // Usage:
 //
-//	benchguard -baseline BENCH_machine.baseline.json -fresh BENCH_machine.json [-max-regress 0.25]
+//	benchguard -baseline BENCH_machine.baseline.json -fresh BENCH_machine.json \
+//	    [-compile-baseline BENCH_compile.baseline.json -compile-fresh BENCH_compile.json] \
+//	    [-max-regress 0.25]
 package main
 
 import (
@@ -22,45 +31,101 @@ import (
 func main() {
 	baselinePath := flag.String("baseline", "", "committed BENCH_machine.json to compare against")
 	freshPath := flag.String("fresh", "BENCH_machine.json", "freshly generated BENCH_machine.json")
-	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional speedup regression (0.25 = 25%)")
+	compileBaselinePath := flag.String("compile-baseline", "", "committed BENCH_compile.json to compare against (empty = skip the compile guard)")
+	compileFreshPath := flag.String("compile-fresh", "BENCH_compile.json", "freshly generated BENCH_compile.json")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional regression (0.25 = 25%)")
 	flag.Parse()
-	if *baselinePath == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
-		os.Exit(2)
-	}
-
-	base, err := loadSpeedups(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(2)
-	}
-	fresh, err := loadSpeedups(*freshPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+	if *baselinePath == "" && *compileBaselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline or -compile-baseline is required")
 		os.Exit(2)
 	}
 
 	failed := false
+	if *baselinePath != "" {
+		ok, err := guardSpeedups(*baselinePath, *freshPath, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		failed = failed || !ok
+	}
+	if *compileBaselinePath != "" {
+		ok, err := guardCompile(*compileBaselinePath, *compileFreshPath, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		failed = failed || !ok
+	}
+	if failed {
+		fmt.Println("benchguard: benchmark regressed beyond the allowed margin")
+		os.Exit(1)
+	}
+}
+
+// guardSpeedups fails any grid whose fresh replay-sweep speedup fell
+// below baseline·(1−margin). Higher is better here.
+func guardSpeedups(baselinePath, freshPath string, margin float64) (bool, error) {
+	base, err := loadSpeedups(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	fresh, err := loadSpeedups(freshPath)
+	if err != nil {
+		return false, err
+	}
+	ok := true
 	for grid, baseSpeedup := range base {
-		freshSpeedup, ok := fresh[grid]
-		if !ok {
+		freshSpeedup, found := fresh[grid]
+		if !found {
 			fmt.Printf("FAIL %-8s baseline %.3fx but grid missing from fresh results\n", grid, baseSpeedup)
-			failed = true
+			ok = false
 			continue
 		}
-		floor := baseSpeedup * (1 - *maxRegress)
+		floor := baseSpeedup * (1 - margin)
 		status := "ok"
 		if freshSpeedup < floor {
 			status = "FAIL"
-			failed = true
+			ok = false
 		}
 		fmt.Printf("%-4s %-8s baseline %.3fx  fresh %.3fx  floor %.3fx\n",
 			status, grid, baseSpeedup, freshSpeedup, floor)
 	}
-	if failed {
-		fmt.Println("benchguard: sweep speedup regressed beyond the allowed margin")
-		os.Exit(1)
+	return ok, nil
+}
+
+// compileGuardKeys are the BENCH_compile.json quantities the gate
+// watches. Lower is better for both, so the guard inverts: a fresh
+// value above baseline·(1+margin) fails.
+var compileGuardKeys = []string{"allocs_per_compile", "ns_per_compile"}
+
+func guardCompile(baselinePath, freshPath string, margin float64) (bool, error) {
+	base, err := loadCompileStats(baselinePath)
+	if err != nil {
+		return false, err
 	}
+	fresh, err := loadCompileStats(freshPath)
+	if err != nil {
+		return false, err
+	}
+	ok := true
+	for _, key := range compileGuardKeys {
+		baseV, freshV := base[key], fresh[key]
+		if freshV == 0 {
+			fmt.Printf("FAIL %-18s baseline %.1f but value missing from fresh results\n", key, baseV)
+			ok = false
+			continue
+		}
+		ceiling := baseV * (1 + margin)
+		status := "ok"
+		if freshV > ceiling {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%-4s %-18s baseline %12.1f  fresh %12.1f  ceiling %12.1f\n",
+			status, key, baseV, freshV, ceiling)
+	}
+	return ok, nil
 }
 
 // loadSpeedups extracts the per-grid replay-sweep speedups from a
@@ -87,6 +152,29 @@ func loadSpeedups(path string) (map[string]float64, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%s: no per-grid speedups found", path)
+	}
+	return out, nil
+}
+
+// loadCompileStats reads the guarded scalar fields of a
+// BENCH_compile.json file.
+func loadCompileStats(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for _, key := range compileGuardKeys {
+		if v, ok := raw[key].(float64); ok && v > 0 {
+			out[key] = v
+		}
+	}
+	if len(out) != len(compileGuardKeys) {
+		return nil, fmt.Errorf("%s: missing compile stats (want %v)", path, compileGuardKeys)
 	}
 	return out, nil
 }

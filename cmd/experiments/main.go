@@ -41,7 +41,7 @@ import (
 func main() { cli.Main("experiments", run) }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|eval")
+	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|threshold|eval")
 	workload := flag.String("workload", "equake", "workload for -exp eval")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of a table (-exp eval only)")
 	workers := flag.Int("workers", 0, "max concurrent compilations (0 = all cores, 1 = serial oracle)")
@@ -121,6 +121,26 @@ func run() error {
 			}
 			experiments.PrintMachineSweep(os.Stdout, name, points)
 			fmt.Println()
+		}
+	case "threshold":
+		// the cost-model speculation tradeoff: sweep the break-even
+		// threshold θ on the input-sensitive kernels, one evaluation per
+		// distinct build through the trace-replay path
+		var sweeps []experiments.ThresholdSweep
+		sweeps, err = experiments.RunThresholdSweeps(*workers)
+		if err == nil && *jsonOut {
+			var data []byte
+			data, err = experiments.MarshalThresholdSweeps(sweeps)
+			if err == nil {
+				_, err = os.Stdout.Write(data)
+			}
+		} else if err == nil {
+			for i, s := range sweeps {
+				if i > 0 {
+					fmt.Println()
+				}
+				experiments.PrintThresholdSweep(os.Stdout, s)
+			}
 		}
 	case "eval":
 		// one (workload, config) point through the same code path specd's

@@ -6,7 +6,9 @@
 //
 //	specc [flags] file.mc [-- prog-args...]
 //
-//	-spec   off|profile|heuristic   data-speculation mode (default profile)
+//	-spec   off|profile|heuristic|cost   data-speculation mode (default profile)
+//	-spec-threshold T               cost-model threshold for -spec cost
+//	                                (>1 conservative, <1 aggressive, 0 = neutral 1)
 //	-O0                             disable optimization entirely
 //	-train  1,2,3                   training input for the profiling run
 //	-run                            execute after compiling (default true)
@@ -45,7 +47,8 @@ func parseArgs(s string) ([]int64, error) {
 func main() { cli.Main("specc", run) }
 
 func run() error {
-	spec := flag.String("spec", "profile", "data speculation: off|profile|heuristic")
+	spec := flag.String("spec", "profile", "data speculation: off|profile|heuristic|cost")
+	specThreshold := flag.Float64("spec-threshold", 0, "cost-model threshold for -spec cost (0 = neutral 1)")
 	o0 := flag.Bool("O0", false, "disable optimization")
 	train := flag.String("train", "", "comma-separated training input for profiling")
 	doRun := flag.Bool("run", true, "run the program after compiling")
@@ -76,9 +79,12 @@ func run() error {
 		cfg.Spec = repro.SpecProfile
 	case "heuristic":
 		cfg.Spec = repro.SpecHeuristic
+	case "cost":
+		cfg.Spec = repro.SpecCost
 	default:
 		return cli.Usagef("unknown -spec %q", *spec)
 	}
+	cfg.SpecThreshold = *specThreshold
 	cfg.ProfileArgs, err = parseArgs(*train)
 	if err != nil {
 		return cli.Usagef("bad -train: %v", err)

@@ -9,7 +9,7 @@
 //
 //	speclint [flags] [file.mc ...]
 //
-//	-spec     off|profile|heuristic|all   mode(s) to verify under (default all)
+//	-spec     off|profile|heuristic|cost|all   mode(s) to verify under (default all)
 //	-train    1,2,3                       training input for explicit files
 //	-sched                                also verify the instruction scheduler
 //	-workers  N                           pipeline parallelism (0 = all cores)
@@ -53,7 +53,7 @@ func parseArgs(s string) ([]int64, error) {
 }
 
 func run() error {
-	spec := flag.String("spec", "all", "data speculation mode(s): off|profile|heuristic|all")
+	spec := flag.String("spec", "all", "data speculation mode(s): off|profile|heuristic|cost|all")
 	train := flag.String("train", "", "comma-separated training input for explicit source files")
 	sched := flag.Bool("sched", false, "also verify the instruction scheduler")
 	workers := flag.Int("workers", 0, "pipeline parallelism (0 = all cores)")
@@ -72,8 +72,10 @@ func run() error {
 		modes = []repro.SpecMode{repro.SpecProfile}
 	case "heuristic":
 		modes = []repro.SpecMode{repro.SpecHeuristic}
+	case "cost":
+		modes = []repro.SpecMode{repro.SpecCost}
 	case "all":
-		modes = []repro.SpecMode{repro.SpecOff, repro.SpecProfile, repro.SpecHeuristic}
+		modes = []repro.SpecMode{repro.SpecOff, repro.SpecProfile, repro.SpecHeuristic, repro.SpecCost}
 	default:
 		return cli.Usagef("unknown -spec %q", *spec)
 	}

@@ -74,12 +74,16 @@ func (r *Result) annotateFunc(prog *ir.Program, f *ir.Func) []*ir.Sym {
 		for _, st := range b.Stmts {
 			switch t := st.(type) {
 			case *ir.Assign:
-				switch {
-				case t.RK == ir.RHSLoad && t.Site != 0:
+				// the conditions are independent, not exclusive: an
+				// indirect load whose destination is itself a
+				// memory-resident scalar reads through a mu list AND
+				// direct-stores through a chi
+				if t.RK == ir.RHSLoad && t.Site != 0 {
 					syms := r.aliasSyms(f, r.SiteClass[t.Site], t.LoadsFrom)
 					t.Mus = makeMus(syms)
 					noteSyms(syms)
-				case t.Dst.Sym.InMemory():
+				}
+				if t.Dst.Sym.InMemory() {
 					// direct store: chi on the virtual variable of the
 					// target's class (the contents summary changes)
 					if vv, ok := r.VV[r.ClassOfSym[t.Dst.Sym]]; ok {

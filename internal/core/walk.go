@@ -31,7 +31,10 @@ func (c *WalkContext) BlocksSkip(stmt ir.Stmt) bool {
 	switch c.Mode {
 	case ModeNone:
 		return true
-	case ModeProfile:
+	case ModeProfile, ModeCost:
+		// ModeCost shares the profile walk: the per-symbol cost decision
+		// is already baked into the chi/mu flags, and MuSpec pairs the
+		// load's flagged mus with flagged chis exactly as in ModeProfile
 		if len(c.MuSpec) == 0 {
 			return false
 		}

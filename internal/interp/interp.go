@@ -403,6 +403,9 @@ func (m *machine) execCall(fr *frame, st *ir.Call) error {
 		}
 		args[i] = v
 	}
+	if m.prof != nil && m.opts.CollectAlias && st.Site != 0 {
+		m.prof.AddExec(st.Site)
+	}
 	m.callSites = append(m.callSites, st.Site)
 	defer func() { m.callSites = m.callSites[:len(m.callSites)-1] }()
 	ret, err := m.callFn(callee, args)
@@ -430,6 +433,12 @@ func (m *machine) loadMem(addr int, site int) (uint64, error) {
 		m.opts.MemTrace.append(MemEvent{Site: site, Addr: addr, Val: m.mem[addr], Invocation: m.curFrameID()})
 	}
 	if m.prof != nil && m.opts.CollectAlias {
+		// every execution counts toward the site total, even one whose
+		// address resolves to no nameable LOC — that keeps each LOC's
+		// count/total alias probability at most 1
+		if site != 0 {
+			m.prof.AddExec(site)
+		}
 		loc, ok := m.locate(addr)
 		if ok {
 			if site != 0 {
@@ -456,6 +465,9 @@ func (m *machine) storeMem(addr int, val uint64, site int) error {
 		m.opts.MemTrace.append(MemEvent{Site: site, Addr: addr, Val: val, Invocation: m.curFrameID(), Store: true})
 	}
 	if m.prof != nil && m.opts.CollectAlias {
+		if site != 0 {
+			m.prof.AddExec(site)
+		}
 		loc, ok := m.locate(addr)
 		if ok {
 			if site != 0 {

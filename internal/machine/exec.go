@@ -89,6 +89,34 @@ func (cfg Config) withDefaults() Config {
 // equivalent Configs share entries.
 func (cfg Config) Normalized() Config { return cfg.withDefaults() }
 
+// SpecSavedCycles is the latency a retired speculative load saves under
+// this model: the promoted load's latency minus the check load that
+// replaces it (ld.c / ldf.c at CheckHitLat), floored at zero. It is the
+// benefit term of the expected-cost speculation policy (core.Policy).
+func (cfg Config) SpecSavedCycles(fp bool) int {
+	n := cfg.withDefaults()
+	lat := n.IntLoadLat
+	if fp {
+		lat = n.FPLoadLat
+	}
+	if s := lat - n.CheckHitLat; s > 0 {
+		return s
+	}
+	return 0
+}
+
+// SpecRecoveryCycles is the latency a failed check costs under this
+// model: the reload at full load latency plus the miss penalty. It is
+// the cost term of the expected-cost speculation policy (core.Policy).
+func (cfg Config) SpecRecoveryCycles(fp bool) int {
+	n := cfg.withDefaults()
+	lat := n.IntLoadLat
+	if fp {
+		lat = n.FPLoadLat
+	}
+	return lat + n.CheckMissPen
+}
+
 // Defaults is the Itanium-flavoured model from the paper's §5.2.
 func Defaults() Config {
 	return Config{

@@ -1,12 +1,15 @@
 // Package profile defines the profile data the speculative framework feeds
 // back into the compiler: edge/block execution frequencies (for control
-// speculation) and per-site abstract-memory-location (LOC) sets from alias
-// profiling (for data speculation), following §3.2.1 of Lin et al.
-// (PLDI 2003).
+// speculation) and per-site abstract-memory-location (LOC) multisets from
+// alias profiling (for data speculation), following §3.2.1 of Lin et al.
+// (PLDI 2003). The multisets carry occurrence counts, so a policy can
+// compute p(alias) = count(LOC)/executions(site) rather than only the
+// binary observed/not-observed fact.
 package profile
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -56,27 +59,39 @@ func (l Loc) String() string {
 	return "loc?"
 }
 
-// LocSet is a set of abstract memory locations.
-type LocSet map[Loc]struct{}
+// LocSet is a counted multiset of abstract memory locations: the value is
+// the number of times the location was observed. Membership (Has) is
+// count > 0, so the set-semantics consumers (ModeProfile) are unchanged by
+// the counts.
+type LocSet map[Loc]uint64
 
-// Add inserts a location.
-func (s LocSet) Add(l Loc) { s[l] = struct{}{} }
+// Add records one observation of a location.
+func (s LocSet) Add(l Loc) { s[l]++ }
 
-// Has reports membership.
-func (s LocSet) Has(l Loc) bool { _, ok := s[l]; return ok }
+// AddN records n observations of a location.
+func (s LocSet) AddN(l Loc, n uint64) { s[l] += n }
 
-// AddAll inserts every element of t.
+// Has reports membership (at least one observation).
+func (s LocSet) Has(l Loc) bool { return s[l] > 0 }
+
+// Count returns the observation count of a location (0 if absent).
+func (s LocSet) Count(l Loc) uint64 { return s[l] }
+
+// AddAll merges every element of t, summing counts.
 func (s LocSet) AddAll(t LocSet) {
-	for l := range t {
-		s[l] = struct{}{}
+	for l, n := range t {
+		s[l] += n
 	}
 }
 
-// String renders the set deterministically for golden tests.
+// String renders the set of member locations deterministically for golden
+// tests (counts are not rendered; the set view is the stable surface).
 func (s LocSet) String() string {
 	var names []string
-	for l := range s {
-		names = append(names, l.String())
+	for l, n := range s {
+		if n > 0 {
+			names = append(names, l.String())
+		}
 	}
 	sort.Strings(names)
 	return "{" + strings.Join(names, ", ") + "}"
@@ -98,6 +113,15 @@ type Profile struct {
 	// modified / referenced during the call.
 	CallMod map[int]LocSet
 	CallRef map[int]LocSet
+
+	// SiteTotal counts the dynamic executions of each reference site
+	// (loads, stores and calls share one site-id space): the denominator
+	// of p(alias) = LocSet count / SiteTotal. It counts every execution,
+	// including ones whose address did not resolve to a nameable LOC, so
+	// the per-LOC probabilities never exceed 1 for load/store sites.
+	// Empty for profiles deserialized from version 1, which predates the
+	// counts; consumers treat a zero total as "no count information".
+	SiteTotal map[int]uint64
 }
 
 // New returns an empty profile.
@@ -109,6 +133,7 @@ func New() *Profile {
 		StoreLocs:  map[int]LocSet{},
 		CallMod:    map[int]LocSet{},
 		CallRef:    map[int]LocSet{},
+		SiteTotal:  map[int]uint64{},
 	}
 }
 
@@ -152,44 +177,136 @@ func (p *Profile) RefSet(site int) LocSet {
 	return s
 }
 
+// AddExec records one dynamic execution of a reference site.
+func (p *Profile) AddExec(site int) {
+	if p.SiteTotal == nil {
+		p.SiteTotal = map[int]uint64{}
+	}
+	p.SiteTotal[site]++
+}
+
+// Total returns the dynamic execution count of a reference site (0 when
+// unknown, e.g. a version-1 profile).
+func (p *Profile) Total(site int) uint64 { return p.SiteTotal[site] }
+
 // ApplyEdges writes the collected edge counts into the CFG's Freq/EdgeFreq
-// fields, normalizing against the entry count of each function. Blocks
-// never executed get frequency 0.
+// fields, normalized against the entry count of each function, so Freq is
+// executions per invocation (entry block ≡ 1). Functions never entered
+// (and blocks never executed) get frequency 0. The normalization is a
+// per-function positive scale, which preserves every intra-function
+// frequency comparison the optimizer makes.
 func (p *Profile) ApplyEdges(prog *ir.Program) {
 	for _, fn := range prog.Funcs {
+		entry := float64(p.BlockCount[fn.Entry])
 		for _, b := range fn.Blocks {
-			b.Freq = float64(p.BlockCount[b])
+			b.Freq = 0
 			counts := p.EdgeCount[b]
 			b.EdgeFreq = make([]float64, len(b.Succs))
+			if entry == 0 {
+				continue
+			}
+			b.Freq = float64(p.BlockCount[b]) / entry
 			for i := range b.Succs {
 				if i < len(counts) {
-					b.EdgeFreq[i] = float64(counts[i])
+					b.EdgeFreq[i] = float64(counts[i]) / entry
 				}
 			}
 		}
 	}
 }
 
-// StaticEstimate fills Freq/EdgeFreq with a simple static heuristic (Ball-
-// Larus style): loops assumed to iterate 10 times, branches split 50/50.
-// Used when no edge profile is available.
+// StaticEstimate fills Freq/EdgeFreq with a Ball-Larus-style static
+// heuristic, used when no edge profile is available: branches whose
+// targets stay inside the block's innermost loop carry 9/10 of its
+// outgoing flow and loop-exiting branches 1/10 (branches with no loop
+// involvement split evenly), and block frequencies solve the resulting
+// flow equations with the entry injecting one execution. The geometric
+// back-edge weight makes loop bodies converge to ~10 executions per entry
+// per nesting level, and — unlike weighting blocks by 10^depth with 50/50
+// branch splits — the estimate is flow-conserving: a block's frequency
+// equals the sum of its incoming edge frequencies.
 func StaticEstimate(prog *ir.Program) {
+	const (
+		stayWeight = 0.9
+		exitWeight = 0.1
+	)
 	for _, fn := range prog.Funcs {
 		dt := ir.BuildDomTree(fn)
 		_, inLoop := ir.FindLoops(fn, dt)
+
+		// branch probabilities per block, index-aligned with Succs
+		probs := make(map[*ir.Block][]float64, len(fn.Blocks))
 		for _, b := range fn.Blocks {
-			depth := 0
-			if l := inLoop[b]; l != nil {
-				depth = l.Depth
+			n := len(b.Succs)
+			pr := make([]float64, n)
+			probs[b] = pr
+			if n == 0 {
+				continue
 			}
-			freq := 1.0
-			for i := 0; i < depth; i++ {
-				freq *= 10
+			l := inLoop[b]
+			stay := 0
+			if l != nil {
+				for _, s := range b.Succs {
+					if l.Blocks[s] {
+						stay++
+					}
+				}
 			}
-			b.Freq = freq
+			if l == nil || stay == 0 || stay == n {
+				for i := range pr {
+					pr[i] = 1 / float64(n)
+				}
+				continue
+			}
+			for i, s := range b.Succs {
+				if l.Blocks[s] {
+					pr[i] = stayWeight / float64(stay)
+				} else {
+					pr[i] = exitWeight / float64(n-stay)
+				}
+			}
+		}
+
+		// solve Freq(b) = entry(b) + Σ_{p→b} Freq(p)·prob(p→b) by
+		// Gauss-Seidel iteration in reverse post-order; each pass shrinks
+		// the per-loop error by the back-edge weight, so convergence is
+		// geometric. Unreachable blocks are not in the RPO and keep 0.
+		order := dt.Order()
+		freq := make(map[*ir.Block]float64, len(order))
+		for iter := 0; iter < 200; iter++ {
+			delta := 0.0
+			for _, b := range order {
+				f := 0.0
+				if b == fn.Entry {
+					f = 1
+				}
+				for _, p := range b.Preds {
+					pf := freq[p]
+					if pf == 0 {
+						continue
+					}
+					pr := probs[p]
+					for i, s := range p.Succs {
+						if s == b {
+							f += pf * pr[i]
+						}
+					}
+				}
+				if d := math.Abs(f - freq[b]); d > delta {
+					delta = d
+				}
+				freq[b] = f
+			}
+			if delta < 1e-9 {
+				break
+			}
+		}
+		for _, b := range fn.Blocks {
+			b.Freq = freq[b]
+			pr := probs[b]
 			b.EdgeFreq = make([]float64, len(b.Succs))
 			for i := range b.Succs {
-				b.EdgeFreq[i] = freq / float64(len(b.Succs))
+				b.EdgeFreq[i] = freq[b] * pr[i]
 			}
 		}
 	}

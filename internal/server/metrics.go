@@ -21,9 +21,10 @@ type metrics struct {
 	queueDepth atomic.Int64
 	inflight   atomic.Int64
 
-	mu       sync.Mutex
-	requests map[reqKey]uint64     // (endpoint, code) -> count
-	phases   map[string]*histogram // phase -> latency histogram
+	mu         sync.Mutex
+	requests   map[reqKey]uint64     // (endpoint, code) -> count
+	phases     map[string]*histogram // phase -> latency histogram
+	specPolicy map[string]uint64     // speculation mode -> compilations
 
 	specLoadsRetired atomic.Int64
 	specCheckLoads   atomic.Int64
@@ -45,8 +46,9 @@ type reqKey struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: map[reqKey]uint64{},
-		phases:   map[string]*histogram{},
+		requests:   map[reqKey]uint64{},
+		phases:     map[string]*histogram{},
+		specPolicy: map[string]uint64{},
 	}
 }
 
@@ -89,6 +91,15 @@ func (m *metrics) observePhase(phase string, seconds float64) {
 	m.mu.Unlock()
 }
 
+// countSpecPolicy records which speculation flag source a compile or
+// evaluate request ran under ("off", "profile", "heuristic", "cost") —
+// the live view of how callers use the cost-model policy.
+func (m *metrics) countSpecPolicy(mode repro.SpecMode) {
+	m.mu.Lock()
+	m.specPolicy[mode.String()]++
+	m.mu.Unlock()
+}
+
 func (m *metrics) addSpec(loadsRetired, checkLoads, failedChecks int64) {
 	m.specLoadsRetired.Add(loadsRetired)
 	m.specCheckLoads.Add(checkLoads)
@@ -120,6 +131,17 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE specd_requests_total counter\n")
 	for _, k := range reqKeys {
 		fmt.Fprintf(w, "specd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	policyKeys := make([]string, 0, len(m.specPolicy))
+	for k := range m.specPolicy {
+		policyKeys = append(policyKeys, k)
+	}
+	sort.Strings(policyKeys)
+	fmt.Fprintf(w, "# HELP specd_spec_policy_total Compilations served, by data-speculation flag source.\n")
+	fmt.Fprintf(w, "# TYPE specd_spec_policy_total counter\n")
+	for _, k := range policyKeys {
+		fmt.Fprintf(w, "specd_spec_policy_total{mode=%q} %d\n", k, m.specPolicy[k])
 	}
 
 	phaseKeys := make([]string, 0, len(m.phases))

@@ -359,6 +359,7 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (any, error
 	if req.Verify {
 		cfg.VerifyPasses = true
 	}
+	s.metrics.countSpecPolicy(cfg.Spec)
 	c, err := repro.CompileCtx(ctx, req.Source, cfg)
 	if cfg.VerifyPasses {
 		s.countSpecheck(err)
@@ -395,6 +396,12 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (any, erro
 	if err := knownWorkload(req.Workload); err != nil {
 		return nil, err
 	}
+	// mirror RunEvalCtx's config defaulting for the policy counter
+	mode := repro.SpecProfile
+	if req.Config != nil {
+		mode = req.Config.Spec
+	}
+	s.metrics.countSpecPolicy(mode)
 	res, err := experiments.RunEvalCtx(ctx, req)
 	if req.Verify || (req.Config != nil && req.Config.VerifyPasses) {
 		s.countSpecheck(err)

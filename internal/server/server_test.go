@@ -317,6 +317,33 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
+// TestCompileSpecPolicyMetric checks that served compilations show up in
+// specd_spec_policy_total under the speculation mode they ran with: one
+// cost-policy compile, one defaulted (profile-guided) compile.
+func TestCompileSpecPolicyMetric(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const src = `int g = 0; int main() { g = 7; print(g); return 0; }`
+	for _, req := range []CompileRequest{
+		{Source: src, Config: &repro.Config{Spec: repro.SpecCost, SpecThreshold: 2}},
+		{Source: src}, // defaults to SpecProfile
+	} {
+		resp := postJSON(t, ts, "/compile", req)
+		if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile = %d %q", resp.StatusCode, body)
+		}
+	}
+	counters := scrape(t, ts)
+	for _, mode := range []string{"cost", "profile"} {
+		key := fmt.Sprintf("specd_spec_policy_total{mode=%q}", mode)
+		if counters[key] != 1 {
+			t.Errorf("%s = %g, want 1", key, counters[key])
+		}
+	}
+}
+
 // TestEvaluateByteIdentical is the service's core contract: POST
 // /evaluate returns exactly the bytes `experiments -exp eval -json`
 // prints for the same (workload, config) — cold cache and warm cache,

@@ -72,8 +72,10 @@ func CheckAnnotated(prog *ir.Program, env *Env, pass string) []Violation {
 			for _, st := range b.Stmts {
 				switch t := st.(type) {
 				case *ir.Assign:
-					switch {
-					case t.RK == ir.RHSLoad && t.Site != 0:
+					// mirrors the annotator: the two conditions are
+					// independent — an indirect load into a
+					// memory-resident scalar carries both lists
+					if t.RK == ir.RHSLoad && t.Site != 0 {
 						checkList(f, b, "mu", muSyms(t.Mus))
 						class, ok := ar.SiteClass[t.Site]
 						if !ok {
@@ -84,7 +86,8 @@ func CheckAnnotated(prog *ir.Program, env *Env, pass string) []Violation {
 							add(f, b, "missing-vv-mu",
 								"indirect load of class %d lacks a mu for virtual variable %s", class, vv.Name)
 						}
-					case t.Dst.Sym.InMemory():
+					}
+					if t.Dst.Sym.InMemory() {
 						checkList(f, b, "chi", chiSyms(t.Chis))
 						if vv, ok := ar.VV[ar.ClassOfSym[t.Dst.Sym]]; ok && !hasSym(chiSyms(t.Chis), vv) {
 							add(f, b, "missing-vv-chi",
@@ -123,7 +126,7 @@ func CheckAnnotated(prog *ir.Program, env *Env, pass string) []Violation {
 // (an update wrongly made ignorable), or a profiled LOC the list lacks
 // entirely.
 func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
-	ar, prof, mode := env.Alias, env.Prof, env.Mode
+	ar, prof, mode, pol := env.Alias, env.Prof, env.Mode, env.policy()
 	var vs []Violation
 	add := func(f *ir.Func, b *ir.Block, rule, format string, args ...any) {
 		vs = append(vs, Violation{
@@ -131,18 +134,18 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 			Rule: rule, Msg: fmt.Sprintf(format, args...),
 		})
 	}
-	expectChi := func(f *ir.Func, b *ir.Block, chis []*ir.Chi, locs profile.LocSet) {
+	expectChi := func(f *ir.Func, b *ir.Block, chis []*ir.Chi, locs profile.LocSet, total uint64, fp bool) {
 		for _, chi := range chis {
-			want := core.SymFlag(f, chi.Sym, locs, ar, mode)
+			want := core.SymFlag(f, chi.Sym, locs, total, ar, mode, pol, fp)
 			if chi.Spec != want {
 				add(f, b, "wrong-chi-flag", "chi on %s flagged %v, policy says %v",
 					chi.Sym.Name, chi.Spec, want)
 			}
 		}
 	}
-	expectMu := func(f *ir.Func, b *ir.Block, mus []*ir.Mu, locs profile.LocSet) {
+	expectMu := func(f *ir.Func, b *ir.Block, mus []*ir.Mu, locs profile.LocSet, total uint64, fp bool) {
 		for _, mu := range mus {
-			want := core.SymFlag(f, mu.Sym, locs, ar, mode)
+			want := core.SymFlag(f, mu.Sym, locs, total, ar, mode, pol, fp)
 			if mu.Spec != want {
 				add(f, b, "wrong-mu-flag", "mu on %s flagged %v, policy says %v",
 					mu.Sym.Name, mu.Spec, want)
@@ -186,11 +189,16 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 			for _, st := range b.Stmts {
 				switch t := st.(type) {
 				case *ir.Assign:
+					// mirrors AssignFlags: the conditions are independent,
+					// not exclusive (see CheckAnnotated)
 					if t.RK == ir.RHSLoad && t.Site != 0 {
 						locs := core.LocsFor(prof, mode, t.Site, false)
-						expectMu(f, b, t.Mus, locs)
+						total := core.SiteTotalFor(prof, mode, t.Site)
+						fp := t.LoadsFrom != nil && t.LoadsFrom.IsFloat()
+						expectMu(f, b, t.Mus, locs, total, fp)
 						completeMu(f, b, t.Mus, locs)
-					} else if t.Dst.Sym.InMemory() {
+					}
+					if t.Dst.Sym.InMemory() {
 						// a direct store's chi is a weak summary update
 						// under speculation, a hard kill otherwise
 						for _, chi := range t.Chis {
@@ -206,17 +214,21 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 						continue
 					}
 					locs := core.LocsFor(prof, mode, t.Site, true)
-					expectChi(f, b, t.Chis, locs)
+					total := core.SiteTotalFor(prof, mode, t.Site)
+					fp := t.StoresTo != nil && t.StoresTo.IsFloat()
+					expectChi(f, b, t.Chis, locs, total, fp)
 					completeChi(f, b, t.Chis, locs)
 				case *ir.Call:
-					if mode == core.ModeProfile {
+					if mode.ProfileGuided() {
 						var mod, ref profile.LocSet
+						var total uint64
 						if prof != nil {
 							mod, ref = prof.CallMod[t.Site], prof.CallRef[t.Site]
+							total = core.SiteTotalFor(prof, mode, t.Site)
 						}
-						expectChi(f, b, t.Chis, mod)
+						expectChi(f, b, t.Chis, mod, total, false)
 						completeChi(f, b, t.Chis, mod)
-						expectMu(f, b, t.Mus, ref)
+						expectMu(f, b, t.Mus, ref, total, false)
 					} else {
 						for _, chi := range t.Chis {
 							if !chi.Spec {

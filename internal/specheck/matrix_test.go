@@ -22,6 +22,8 @@ func variants() map[string]repro.Config {
 		"off":        {Spec: repro.SpecOff},
 		"profile":    {Spec: repro.SpecProfile},
 		"heuristic":  {Spec: repro.SpecHeuristic},
+		"cost":       {Spec: repro.SpecCost},
+		"cost-hi":    {Spec: repro.SpecCost, SpecThreshold: 8},
 		"no-type-aa": {Spec: repro.SpecProfile, NoTypeBasedAA: true},
 		"aggressive": {AggressivePromotion: true},
 		"opt-off":    {OptimizeOff: true},

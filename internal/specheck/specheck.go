@@ -105,11 +105,24 @@ func AsError(vs []Violation) error {
 }
 
 // Env carries the analysis context Layer 1 re-derives expectations from:
-// the whole-program alias result and the exact (profile, mode) pair
-// core.AssignFlags ran with. Prof is nil outside profile mode (and the
-// empty profile under aggressive promotion, matching the pipeline).
+// the whole-program alias result and the exact (profile, mode, policy)
+// triple core.AssignFlags ran with. Prof is nil outside the
+// profile-guided modes (and the empty profile under aggressive
+// promotion, matching the pipeline). Policy is consulted only under
+// core.ModeCost; the zero value is replaced by core.DefaultPolicy(), so
+// callers that never touch ModeCost need not set it.
 type Env struct {
-	Alias *alias.Result
-	Prof  *profile.Profile
-	Mode  core.Mode
+	Alias  *alias.Result
+	Prof   *profile.Profile
+	Mode   core.Mode
+	Policy core.Policy
+}
+
+// policy returns the expected-cost policy to re-derive ModeCost flags
+// with, defaulting the zero value.
+func (e *Env) policy() core.Policy {
+	if e.Policy == (core.Policy{}) {
+		return core.DefaultPolicy()
+	}
+	return e.Policy
 }

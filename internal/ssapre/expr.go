@@ -450,7 +450,7 @@ func (ec *exprClass) finish(s *core.SSA, opts Options, synKeys map[ir.Stmt]strin
 	// speculative-walk context: union of mu_s symbols over occurrences
 	// (profile mode), syntax key (heuristic mode)
 	ctx := &core.WalkContext{Mode: opts.DataSpec}
-	if opts.DataSpec == core.ModeProfile {
+	if opts.DataSpec.ProfileGuided() {
 		ctx.MuSpec = map[*ir.Sym]bool{}
 		for _, o := range ec.occs {
 			for _, mu := range o.stmt.Mus {

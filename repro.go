@@ -50,6 +50,13 @@ const (
 	// SpecHeuristic drives speculation from the three heuristic rules
 	// (paper §3.2.2); no alias profile is needed.
 	SpecHeuristic
+	// SpecCost drives speculation from alias probabilities: a site's
+	// weak updates stay ignorable only while the expected recovery cost
+	// (p(alias) × check-miss latency) is below the expected savings
+	// ((1−p) × cycles saved by promotion). Probabilities come from the
+	// counted alias profile; the cost terms from Config.Machine; the
+	// break-even point shifts with Config.SpecThreshold.
+	SpecCost
 )
 
 func (m SpecMode) String() string {
@@ -60,6 +67,8 @@ func (m SpecMode) String() string {
 		return "profile"
 	case SpecHeuristic:
 		return "heuristic"
+	case SpecCost:
+		return "cost"
 	}
 	return "specmode?"
 }
@@ -75,6 +84,8 @@ func (m SpecMode) coreMode() core.Mode {
 		return core.ModeProfile
 	case SpecHeuristic:
 		return core.ModeHeuristic
+	case SpecCost:
+		return core.ModeCost
 	}
 	return core.ModeNone
 }
@@ -97,6 +108,11 @@ type Config struct {
 	// NoTypeBasedAA disables type-based alias disambiguation (ablation;
 	// the paper's baseline includes it).
 	NoTypeBasedAA bool
+	// SpecThreshold scales the recovery side of the SpecCost break-even
+	// test: a site speculates while (1−p)·saved > threshold·p·recover.
+	// 1 is the neutral cost model; larger values demand better odds
+	// before speculating; <=0 means 1. Ignored outside SpecCost.
+	SpecThreshold float64
 	// ProfileArgs is the training input for the alias/edge profiling run
 	// (used by SpecProfile and for edge profiles; when profiling fails
 	// or is skipped, a static Ball-Larus-style estimate is used).
@@ -200,7 +216,7 @@ func frontendCtx(ctx context.Context, src string) (*ir.Program, error) {
 // the meaning of the computation changes (refinement, the interpreter's
 // collection semantics, or the serialization), which invalidates stale
 // persistent entries by construction.
-const profileCacheVersion = 1
+const profileCacheVersion = 2
 
 // profileKey is the content-addressed key of a profiling run: source
 // text, the options that shape reference-site ids and set contents
@@ -403,8 +419,9 @@ func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, erro
 			mode = core.ModeProfile
 			flagProf = profile.New()
 		}
-		core.AssignFlags(prog, ar, flagProf, mode)
-		env.Prof, env.Mode = flagProf, mode
+		pol := core.PolicyFor(cfg.Machine, cfg.SpecThreshold)
+		core.AssignFlagsPolicy(prog, ar, flagProf, mode, pol)
+		env.Prof, env.Mode, env.Policy = flagProf, mode, pol
 		if cfg.VerifyPasses {
 			if err := verify(specheck.CheckAnnotated(prog, env, "assign-flags")); err != nil {
 				return nil, err
