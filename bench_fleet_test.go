@@ -1,0 +1,226 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+)
+
+// BenchmarkFleetSweep measures the distributed sweep path end to end:
+// real specd worker processes (1 then 2, peered through the remote
+// cache tier), a fleet.Coordinator sharding the full mixed-grid sweep
+// across them, cold and warm. It emits BENCH_fleet.json with the
+// per-fleet-size sweep costs, the 1-vs-2 speedups, and the core count
+// the numbers were taken on — the 2-worker speedup only materializes
+// with cores to run the workers on, so the gate compares like with
+// like via the committed baseline. Along the way it asserts the fleet
+// contract: reports byte-identical at every fleet size, and warm runs
+// performing zero profiling executions on any worker.
+func BenchmarkFleetSweep(b *testing.B) {
+	// One measurement pass per invocation, ignoring b.N: booting worker
+	// processes dominates any N-scaled loop, and the quantities reported
+	// are wall-clock sweep times, not per-op averages. The pass itself
+	// takes seconds, so the framework does not iterate.
+	bin := buildSpecd(b)
+	names := workloadNames()
+	cfgs := experiments.MachineSweepConfigs()
+
+	type timing struct{ cold, warm float64 }
+	timings := map[int]timing{}
+	var refCold, refWarm []byte
+	for _, n := range []int{1, 2} {
+		workers := startWorkers(b, bin, n)
+		coord, err := fleet.New(fleet.Config{Workers: workers, HedgeAfter: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runOnce := func() ([]byte, float64) {
+			start := time.Now()
+			sweeps, err := coord.SweepAll(context.Background(), names, cfgs)
+			ns := float64(time.Since(start).Nanoseconds())
+			if err != nil {
+				b.Fatal(err)
+			}
+			data, err := fleet.MarshalSweeps(sweeps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return data, ns
+		}
+		before := profilingRuns(b, workers)
+		cold, coldNs := runOnce()
+		mid := profilingRuns(b, workers)
+		if mid <= before {
+			b.Fatalf("%d-worker cold sweep performed no profiling (%d -> %d)", n, before, mid)
+		}
+		warm, warmNs := runOnce()
+		if after := profilingRuns(b, workers); after != mid {
+			b.Fatalf("%d-worker warm sweep performed %d profiling executions, want 0", n, after-mid)
+		}
+		if !bytes.Equal(cold, warm) {
+			b.Fatalf("%d-worker warm sweep report differs from cold", n)
+		}
+		if refCold == nil {
+			refCold, refWarm = cold, warm
+		} else if !bytes.Equal(refCold, cold) || !bytes.Equal(refWarm, warm) {
+			b.Fatalf("%d-worker sweep report differs from 1-worker report", n)
+		}
+		timings[n] = timing{cold: coldNs, warm: warmNs}
+	}
+
+	coldSpeedup := timings[1].cold / timings[2].cold
+	warmSpeedup := timings[1].warm / timings[2].warm
+	b.ReportMetric(coldSpeedup, "cold_fleet_speedup")
+	b.ReportMetric(warmSpeedup, "warm_fleet_speedup")
+	out := map[string]any{
+		"benchmark": "FleetSweep",
+		"cores":     runtime.NumCPU(),
+		"workloads": len(names),
+		"configs":   len(cfgs),
+		"cold": map[string]any{
+			"one_worker_ns_per_sweep": timings[1].cold,
+			"two_worker_ns_per_sweep": timings[2].cold,
+			"speedup":                 coldSpeedup,
+		},
+		"warm": map[string]any{
+			"one_worker_ns_per_sweep": timings[1].warm,
+			"two_worker_ns_per_sweep": timings[2].warm,
+			"speedup":                 warmSpeedup,
+		},
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fleet.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func workloadNames() []string {
+	var names []string
+	for _, w := range experiments.ListWorkloads() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func buildSpecd(b *testing.B) string {
+	b.Helper()
+	bin := filepath.Join(b.TempDir(), "specd")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/specd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		b.Fatalf("go build specd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startWorkers boots n specd processes on free localhost ports, each
+// with its own cache directory and peered to the others, and waits for
+// them to answer health checks. Cleanup sends SIGTERM and waits.
+func startWorkers(b *testing.B, bin string, n int) []string {
+	b.Helper()
+	ports := make([]int, n)
+	urls := make([]string, n)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ports[i] = l.Addr().(*net.TCPAddr).Port
+		l.Close()
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", ports[i])
+	}
+	for i := range ports {
+		var peers []byte
+		for j, u := range urls {
+			if j == i {
+				continue
+			}
+			if len(peers) > 0 {
+				peers = append(peers, ',')
+			}
+			peers = append(peers, u...)
+		}
+		args := []string{
+			"-addr", "127.0.0.1:" + strconv.Itoa(ports[i]),
+			"-cache-dir", filepath.Join(b.TempDir(), "cache"),
+		}
+		if len(peers) > 0 {
+			args = append(args, "-peers", string(peers))
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = io.Discard
+		cmd.Stdout = io.Discard
+		if err := cmd.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			cmd.Process.Signal(syscall.SIGTERM)
+			cmd.Wait()
+		})
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, u := range urls {
+		for {
+			resp, err := http.Get(u + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("worker %s did not come up", u)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return urls
+}
+
+var profilingRunsRe = regexp.MustCompile(`(?m)^specd_profiling_runs_total (\d+)$`)
+
+// profilingRuns sums specd_profiling_runs_total across the fleet — the
+// direct measure of "zero recomputation on a warm run".
+func profilingRuns(b *testing.B, workers []string) uint64 {
+	b.Helper()
+	var total uint64
+	for _, u := range workers {
+		resp, err := http.Get(u + "/metrics")
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := profilingRunsRe.FindSubmatch(body)
+		if m == nil {
+			b.Fatalf("worker %s exports no specd_profiling_runs_total", u)
+		}
+		v, err := strconv.ParseUint(string(m[1]), 10, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += v
+	}
+	return total
+}

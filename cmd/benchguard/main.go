@@ -5,7 +5,12 @@
 //   - BENCH_machine.json: the per-grid replay-sweep speedups must not
 //     DROP by more than the margin;
 //   - BENCH_compile.json: the compile path's allocs_per_compile and
-//     ns_per_compile must not RISE by more than the margin.
+//     ns_per_compile must not RISE by more than the margin;
+//   - BENCH_fleet.json: the cold and warm 1-vs-2-worker fleet sweep
+//     speedups must not DROP by more than the margin. Fleet speedups
+//     are core-count-bound (the file records "cores"), so the gate
+//     only compares runs against a baseline generated on the same CI
+//     runner class.
 //
 // Single-pass CI benchmark numbers are noisy, so the default margin is
 // deliberately wide (25%); the guarded quantities sit far inside it on
@@ -18,6 +23,7 @@
 //
 //	benchguard -baseline BENCH_machine.baseline.json -fresh BENCH_machine.json \
 //	    [-compile-baseline BENCH_compile.baseline.json -compile-fresh BENCH_compile.json] \
+//	    [-fleet-baseline BENCH_fleet.baseline.json -fleet-fresh BENCH_fleet.json] \
 //	    [-max-regress 0.25]
 package main
 
@@ -33,10 +39,12 @@ func main() {
 	freshPath := flag.String("fresh", "BENCH_machine.json", "freshly generated BENCH_machine.json")
 	compileBaselinePath := flag.String("compile-baseline", "", "committed BENCH_compile.json to compare against (empty = skip the compile guard)")
 	compileFreshPath := flag.String("compile-fresh", "BENCH_compile.json", "freshly generated BENCH_compile.json")
+	fleetBaselinePath := flag.String("fleet-baseline", "", "committed BENCH_fleet.json to compare against (empty = skip the fleet guard)")
+	fleetFreshPath := flag.String("fleet-fresh", "BENCH_fleet.json", "freshly generated BENCH_fleet.json")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional regression (0.25 = 25%)")
 	flag.Parse()
-	if *baselinePath == "" && *compileBaselinePath == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -baseline or -compile-baseline is required")
+	if *baselinePath == "" && *compileBaselinePath == "" && *fleetBaselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline, -compile-baseline, or -fleet-baseline is required")
 		os.Exit(2)
 	}
 
@@ -51,6 +59,18 @@ func main() {
 	}
 	if *compileBaselinePath != "" {
 		ok, err := guardCompile(*compileBaselinePath, *compileFreshPath, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		failed = failed || !ok
+	}
+	if *fleetBaselinePath != "" {
+		// BENCH_fleet.json has the same per-grid shape as
+		// BENCH_machine.json ("cold"/"warm" objects with a "speedup"),
+		// so the sweep guard applies verbatim: higher is better, a drop
+		// beyond the margin fails.
+		ok, err := guardSpeedups(*fleetBaselinePath, *fleetFreshPath, *maxRegress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 			os.Exit(2)

@@ -9,6 +9,10 @@
 //	experiments -exp eval -workload equake -json
 //	                            # one (workload, config) point as JSON —
 //	                            # byte-identical to specd's POST /evaluate
+//	experiments -exp corpus -corpus dir/ -json
+//	                            # per-alias-pattern speculation statistics
+//	                            # over a directory of MiniC sources —
+//	                            # byte-identical to speccoord's fleet run
 //	experiments -cache-dir DIR  # persist profiles; warm runs skip profiling
 //	experiments -cache-max-bytes N
 //	                            # prune the disk cache to N bytes before exit
@@ -41,9 +45,10 @@ import (
 func main() { cli.Main("experiments", run) }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|threshold|eval")
+	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|threshold|eval|corpus")
 	workload := flag.String("workload", "equake", "workload for -exp eval")
-	jsonOut := flag.Bool("json", false, "emit JSON instead of a table (-exp eval only)")
+	corpusDir := flag.String("corpus", "", "directory of MiniC sources for -exp corpus")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of a table (-exp eval and -exp corpus)")
 	workers := flag.Int("workers", 0, "max concurrent compilations (0 = all cores, 1 = serial oracle)")
 	cacheDir := flag.String("cache-dir", "", "persist profiles/compilation artifacts under this directory across runs")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "prune the disk cache to this many bytes before exit (0 = unbounded)")
@@ -147,6 +152,12 @@ func run() error {
 		// POST /evaluate uses; with -json the bytes match the service's
 		// response exactly (the CI smoke job diffs them)
 		err = evalOne(*workload, *workers, *jsonOut)
+	case "corpus":
+		// corpus-scale batch analysis: every MiniC source under -corpus,
+		// aggregated into per-alias-pattern speculation statistics; the
+		// single-node oracle the fleet coordinator is diffed against
+		// (speccoord emits byte-identical -json output)
+		err = corpusRun(*corpusDir, *workers, *jsonOut)
 	default:
 		err = cli.Usagef("unknown experiment %q", *exp)
 	}
@@ -189,6 +200,28 @@ func evalOne(name string, workers int, jsonOut bool) error {
 	c := res.Result.Counters
 	fmt.Printf("%s: cycles=%d loads=%d checks=%d failed=%d data-cycles=%d\n",
 		res.Workload, c.Cycles, c.LoadsRetired, c.CheckLoads, c.FailedChecks, c.DataAccessCycles)
+	return nil
+}
+
+// corpusRun aggregates speculation statistics over a directory of
+// MiniC sources (see experiments.RunCorpusDirCtx).
+func corpusRun(dir string, workers int, jsonOut bool) error {
+	if dir == "" {
+		return cli.Usagef("-exp corpus requires -corpus DIR")
+	}
+	rep, err := experiments.RunCorpusDirCtx(context.Background(), dir, workers)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		data, err := experiments.MarshalCorpusReport(rep)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	experiments.PrintCorpusReport(os.Stdout, rep)
 	return nil
 }
 

@@ -1,0 +1,160 @@
+// Command speccoord coordinates a specd fleet: it shards sweep and
+// corpus jobs across worker processes by content-addressed key (so
+// identical programs land on warm nodes), dispatches with bounded
+// concurrency, retry/backoff and hedged requests, and folds the
+// responses into one report byte-identical to a single-node run.
+//
+// Usage:
+//
+//	speccoord -peers URL,URL [flags] -sweep            # (workload × config) grid
+//	speccoord -peers URL,URL [flags] -corpus DIR       # corpus batch analysis
+//
+//	-peers        comma-separated specd base URLs (required)
+//	-sweep        run the machine sweep grid over every registered workload
+//	-workloads    comma-separated workload subset for -sweep (default all)
+//	-corpus       directory of MiniC sources to analyze fleet-wide
+//	-json         emit JSON instead of tables
+//	-concurrency  max in-flight requests (0 = 2 per worker)
+//	-retries      re-dispatches per item after a failure (default 3)
+//	-backoff      first retry delay, doubling per attempt (default 100ms)
+//	-hedge-after  hedge an unanswered item onto the next-ranked worker
+//	              after this long (default 2s; negative = off)
+//	-timeout      per-request deadline (default 120s)
+//
+// The corpus report's bytes are identical to
+// `experiments -exp corpus -corpus DIR -json` whatever the fleet size —
+// the CI fleet-smoke job diffs exactly that.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+)
+
+func main() { cli.Main("speccoord", run) }
+
+func run() error {
+	peers := flag.String("peers", "", "comma-separated specd base URLs (required)")
+	sweep := flag.Bool("sweep", false, "run the machine-config sweep grid across the fleet")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset for -sweep (default: all registered)")
+	corpusDir := flag.String("corpus", "", "directory of MiniC sources to analyze fleet-wide")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
+	concurrency := flag.Int("concurrency", 0, "max in-flight requests (0 = 2 per worker)")
+	retries := flag.Int("retries", 3, "re-dispatches per item after a failed attempt (negative = none)")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "first retry delay, doubling per attempt")
+	hedgeAfter := flag.Duration("hedge-after", 2*time.Second, "hedge an unanswered item onto the next-ranked worker after this long (negative = off)")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-request deadline")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return cli.Usagef("unexpected arguments: %v", flag.Args())
+	}
+	if *peers == "" {
+		return cli.Usagef("-peers is required")
+	}
+	if !*sweep && *corpusDir == "" {
+		return cli.Usagef("nothing to do: pass -sweep and/or -corpus DIR")
+	}
+	var urls []string
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		urls = append(urls, p)
+	}
+	coord, err := fleet.New(fleet.Config{
+		Workers:     urls,
+		Concurrency: *concurrency,
+		Retries:     *retries,
+		Backoff:     *backoff,
+		HedgeAfter:  *hedgeAfter,
+		Timeout:     *timeout,
+		Logger:      log.New(os.Stderr, "speccoord ", log.LstdFlags|log.Lmsgprefix),
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *sweep {
+		names := sweepNames(*workloadsFlag)
+		sweeps, err := coord.SweepAll(ctx, names, nil)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			data, err := fleet.MarshalSweeps(sweeps)
+			if err != nil {
+				return err
+			}
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+		} else {
+			for i, s := range sweeps {
+				if i > 0 {
+					fmt.Println()
+				}
+				experiments.PrintMachineSweep(os.Stdout, s.Workload, s.Points)
+			}
+		}
+	}
+
+	if *corpusDir != "" {
+		files, err := experiments.LoadCorpusDir(*corpusDir)
+		if err != nil {
+			return err
+		}
+		rep, err := coord.Corpus(ctx, files)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			data, err := experiments.MarshalCorpusReport(rep)
+			if err != nil {
+				return err
+			}
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+		} else {
+			experiments.PrintCorpusReport(os.Stdout, rep)
+		}
+	}
+	return nil
+}
+
+// sweepNames resolves -workloads: empty means every registered kernel,
+// in presentation order (which fixes the report's order fleet-wide).
+func sweepNames(flagVal string) []string {
+	if flagVal == "" {
+		var names []string
+		for _, w := range experiments.ListWorkloads() {
+			names = append(names, w.Name)
+		}
+		return names
+	}
+	var names []string
+	for _, n := range strings.Split(flagVal, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}

@@ -64,13 +64,16 @@ func KeyOf(parts ...[]byte) Key {
 // Stats are the cache's cumulative counters. Snapshot them before and
 // after an operation and compare deltas; they are never reset.
 type Stats struct {
-	MemHits    uint64 // lookups served by the in-memory tier
-	MemMisses  uint64 // lookups that missed the in-memory tier
-	DiskHits   uint64 // memory misses served by the on-disk tier
-	DiskMisses uint64 // on-disk lookups that found no (valid) entry
-	Computes   uint64 // compute functions actually run
-	Evictions  uint64 // in-memory entries dropped for capacity
-	Corrupt    uint64 // on-disk entries discarded as corrupt/stale
+	MemHits      uint64 // lookups served by the in-memory tier
+	MemMisses    uint64 // lookups that missed the in-memory tier
+	DiskHits     uint64 // memory misses served by the on-disk tier
+	DiskMisses   uint64 // on-disk lookups that found no (valid) entry
+	RemoteHits   uint64 // disk misses served by the remote (peer) tier
+	RemoteMisses uint64 // remote lookups that found no peer copy
+	RemotePuts   uint64 // computed entries pushed to the remote tier
+	Computes     uint64 // compute functions actually run
+	Evictions    uint64 // in-memory entries dropped for capacity
+	Corrupt      uint64 // on-disk entries discarded as corrupt/stale
 }
 
 // entry is one memoized result. ready is closed when the result fields
@@ -91,12 +94,14 @@ func (e *entry) done() bool {
 	}
 }
 
-// Cache is a two-tier content-addressed cache, safe for concurrent use.
+// Cache is a content-addressed cache with up to three tiers (memory,
+// disk, remote peers), safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	disabled bool
 	dir      string // "" = memory only
+	remote   Remote // nil = no peer tier
 	mem      map[Key]*entry
 	order    []Key // insertion order, for FIFO eviction
 	stats    Stats
@@ -305,15 +310,18 @@ func (c *Cache) GetBytesCtx(ctx context.Context, key Key, compute func() ([]byte
 				return nil, ctx.Err()
 			}
 		}
-		return c.fillBytes(e, key, dir, compute)
+		return c.fillBytes(ctx, e, key, dir, compute)
 	}
 }
 
-// fillBytes runs the owner's side of a GetBytesCtx miss. e.ready is
+// fillBytes runs the owner's side of a GetBytesCtx miss: disk tier,
+// then the remote (peer) tier, then the compute function. e.ready is
 // closed on every exit, including a compute panic (the entry is then
 // forgotten so waiters retry rather than observe a half-filled entry,
-// and the panic propagates to the owner).
-func (c *Cache) fillBytes(e *entry, key Key, dir string, compute func() ([]byte, error)) ([]byte, error) {
+// and the panic propagates to the owner). A remote hit is written
+// through to the disk tier; a computed value is written through to both
+// (the push to peers is what makes the entry computed once fleet-wide).
+func (c *Cache) fillBytes(ctx context.Context, e *entry, key Key, dir string, compute func() ([]byte, error)) ([]byte, error) {
 	completed := false
 	defer func() {
 		if !completed {
@@ -329,15 +337,87 @@ func (c *Cache) fillBytes(e *entry, key Key, dir string, compute func() ([]byte,
 			return data, nil
 		}
 	}
+	if remote := c.getRemote(); remote != nil {
+		if data, ok := remote.Get(ctx, key); ok {
+			c.mu.Lock()
+			c.stats.RemoteHits++
+			c.mu.Unlock()
+			e.data = data
+			completed = true
+			if dir != "" {
+				c.diskStore(dir, key, data)
+			}
+			return data, nil
+		}
+		c.mu.Lock()
+		c.stats.RemoteMisses++
+		c.mu.Unlock()
+	}
 	c.countCompute()
 	e.data, e.err = compute()
 	completed = true
 	if isCtxErr(e.err) {
 		c.forget(key, e)
-	} else if e.err == nil && dir != "" {
-		c.diskStore(dir, key, e.data)
+	} else if e.err == nil {
+		if dir != "" {
+			c.diskStore(dir, key, e.data)
+		}
+		if remote := c.getRemote(); remote != nil {
+			remote.Put(ctx, key, e.data)
+			c.mu.Lock()
+			c.stats.RemotePuts++
+			c.mu.Unlock()
+		}
 	}
 	return e.data, e.err
+}
+
+// PeekBytes is the read side of serving the remote tier to peers: it
+// returns the completed byte entry for key from the memory or disk tier
+// without claiming the key, running any compute, or consulting this
+// cache's own remote tier (so two peers looking each other up can never
+// recurse). In-flight computations are not waited for — a peek races a
+// compute, it never joins one.
+func (c *Cache) PeekBytes(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	e, ok := c.mem[key]
+	dir := c.dir
+	c.mu.Unlock()
+	if ok && e.done() && e.err == nil && e.data != nil {
+		return e.data, true
+	}
+	if dir != "" {
+		if data, ok := c.diskLoad(dir, key); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// PutBytes is the write side of serving the remote tier to peers: it
+// installs data as the completed byte entry for key in the memory tier
+// (respecting capacity) and writes it through to the disk tier. An
+// existing entry — completed or in flight — wins: the cache's values
+// are content-addressed and deterministic, so the first copy is as good
+// as any, and displacing an in-flight entry would strand its waiters.
+func (c *Cache) PutBytes(key Key, data []byte) {
+	c.mu.Lock()
+	if c.disabled {
+		c.mu.Unlock()
+		return
+	}
+	dir := c.dir
+	if _, ok := c.mem[key]; !ok {
+		c.evictLocked()
+		e := &entry{ready: make(chan struct{}), data: data}
+		close(e.ready)
+		c.mem[key] = e
+		c.order = append(c.order, key)
+	}
+	c.mu.Unlock()
+	if dir != "" {
+		c.diskStore(dir, key, data)
+	}
 }
 
 // GetObject is the memory-only variant of GetBytes for values that are
@@ -408,7 +488,10 @@ func (c *Cache) diskPath(dir string, key Key) string {
 
 // diskLoad reads and verifies the entry for key. Any failure — missing
 // file, malformed header, checksum mismatch — is a miss; a present but
-// invalid file is deleted and counted as corrupt.
+// invalid file is deleted and counted as corrupt. A hit refreshes the
+// entry's mtime so Prune's oldest-first deletion order approximates
+// LRU: entries that concurrent readers are actively using are the last
+// to go, not the first (their write time says nothing about their use).
 func (c *Cache) diskLoad(dir string, key Key) ([]byte, bool) {
 	path := c.diskPath(dir, key)
 	raw, err := os.ReadFile(path)
@@ -428,9 +511,22 @@ func (c *Cache) diskLoad(dir string, key Key) ([]byte, bool) {
 	}
 	c.mu.Unlock()
 	if !ok {
-		os.Remove(path)
+		// Remove the corrupt file — but only if it still is the file we
+		// read. A concurrent writer may have renamed a fresh, valid
+		// entry over the path between our read and this removal, and
+		// deleting that would lose a good entry (the historical race
+		// this guards: truncated-entry cleanup vs store). A size match
+		// can't distinguish every overwrite, but a valid entry and the
+		// corrupt bytes sharing a length is vanishingly unlikely, and
+		// the worst case of a wrong skip is one corrupt file lingering
+		// until the next lookup.
+		if info, serr := os.Stat(path); serr == nil && info.Size() == int64(len(raw)) {
+			os.Remove(path)
+		}
 		return nil, false
 	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort: a failed touch only ages the entry
 	return payload, true
 }
 

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCorpusRunDeterministic pins the corpus determinism contract at
+// the single-node level: the aggregate report bytes are identical at
+// any worker count, which is the foundation the fleet extends to any
+// worker-process count.
+func TestCorpusRunDeterministic(t *testing.T) {
+	ctx := context.Background()
+	rep1, err := RunCorpusDirCtx(ctx, "testdata/corpus", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep8, err := RunCorpusDirCtx(ctx, "testdata/corpus", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := MarshalCorpusReport(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := MarshalCorpusReport(rep8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("corpus report differs across worker counts:\n%s\nvs\n%s", b1, b8)
+	}
+	if rep1.Analyzed == 0 || rep1.Files <= rep1.Analyzed {
+		t.Fatalf("testdata corpus should have analyzed files and at least one failure: %+v", rep1)
+	}
+	if len(rep1.Patterns) == 0 {
+		t.Fatal("no alias patterns in the corpus report")
+	}
+	for _, want := range []string{"load:heap", "store:global"} {
+		if rep1.Patterns[want] == nil {
+			t.Fatalf("pattern %q missing from report", want)
+		}
+	}
+}
+
+// TestCorpusAggregateOrderIndependent shuffles per-file results before
+// aggregation and asserts identical bytes — the property that lets the
+// fleet coordinator fold worker responses in completion order.
+func TestCorpusAggregateOrderIndependent(t *testing.T) {
+	files, err := LoadCorpusDir("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*CorpusFileResult
+	var fails []CorpusFailure
+	for _, f := range files {
+		res, err := RunCorpusFileCtx(context.Background(), f, 1)
+		if err != nil {
+			fails = append(fails, CorpusFailure{Name: f.Name, Error: err.Error()})
+			continue
+		}
+		results = append(results, res)
+	}
+	base, err := MarshalCorpusReport(AggregateCorpus(results, fails))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]*CorpusFileResult(nil), results...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		sf := append([]CorpusFailure(nil), fails...)
+		rng.Shuffle(len(sf), func(i, j int) { sf[i], sf[j] = sf[j], sf[i] })
+		got, err := MarshalCorpusReport(AggregateCorpus(shuffled, sf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base, got) {
+			t.Fatalf("aggregate depends on result order (trial %d)", trial)
+		}
+	}
+}
+
+// TestCorpusFileRoundTrip pins the per-file wire format: marshaling and
+// unmarshaling a result must not change what it aggregates to, since
+// the coordinator folds results that crossed HTTP next to ones computed
+// locally.
+func TestCorpusFileRoundTrip(t *testing.T) {
+	files, err := LoadCorpusDir("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *CorpusFile
+	for i := range files {
+		if files[i].Name == "ptrsum.c" {
+			f = &files[i]
+		}
+	}
+	if f == nil {
+		t.Fatal("ptrsum.c missing from testdata corpus")
+	}
+	res, err := RunCorpusFileCtx(context.Background(), *f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalCorpusFile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCorpusFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MarshalCorpusReport(AggregateCorpus([]*CorpusFileResult{res}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalCorpusReport(AggregateCorpus([]*CorpusFileResult{back}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("corpus file result changed across the wire format")
+	}
+}
+
+// TestCorpusArgsDirectives pins the directive syntax corpus sources
+// carry their inputs in.
+func TestCorpusArgsDirectives(t *testing.T) {
+	src := "// profile-args: 32 2\n// ref-args: 128 6\nint main() { return 0; }\n"
+	pa, err := corpusArgs(src, "profile-args")
+	if err != nil || len(pa) != 2 || pa[0] != 32 || pa[1] != 2 {
+		t.Fatalf("profile-args = %v, %v", pa, err)
+	}
+	ra, err := corpusArgs(src, "ref-args")
+	if err != nil || len(ra) != 2 || ra[0] != 128 || ra[1] != 6 {
+		t.Fatalf("ref-args = %v, %v", ra, err)
+	}
+	none, err := corpusArgs("int main() { return 0; }", "profile-args")
+	if err != nil || none != nil {
+		t.Fatalf("absent directive = %v, %v", none, err)
+	}
+	if _, err := corpusArgs("// profile-args: twelve\n", "profile-args"); err == nil || !strings.Contains(err.Error(), "bad profile-args") {
+		t.Fatalf("bad directive error = %v", err)
+	}
+}

@@ -1,0 +1,5 @@
+// Deliberately unparseable: the corpus run must record the failure and
+// keep aggregating the rest of the files.
+int main( {
+	return 0;
+}

@@ -1,0 +1,20 @@
+// profile-args: 96
+// ref-args: 192
+// Global scalars re-read across pointer stores that only sometimes
+// touch them: fractional alias probability on a store:global pattern.
+int acc = 0;
+int scratch = 0;
+
+int main() {
+	int n = arg(0);
+	int sum = 0;
+	for (int i = 0; i < n; i++) {
+		int *p;
+		if (i % 8 == 0) { p = &acc; } else { p = &scratch; }
+		int x = acc;
+		*p = x + i;
+		sum = sum + acc;
+	}
+	print(sum);
+	return 0;
+}

@@ -1,0 +1,20 @@
+// A corpus file with no directives: the program takes no inputs.
+double *dvec(int n) { return (double*)malloc(n); }
+
+int main() {
+	int n = 24;
+	double *v = dvec(n);
+	double *w = dvec(n);
+	for (int i = 0; i < n; i++) {
+		v[i] = (double)(i % 7) * 0.5;
+		w[i] = 0.0;
+	}
+	double check = 0.0;
+	for (int i = 0; i < n; i++) {
+		double x = v[i];
+		w[i] = w[i] + x * 2.0;
+		check += v[i];
+	}
+	print(check);
+	return 0;
+}

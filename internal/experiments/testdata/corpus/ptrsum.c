@@ -1,0 +1,26 @@
+// profile-args: 24 2
+// ref-args: 48 3
+// Two heap arrays from a shared allocator: compile-time may-alias,
+// never collide at run time (the corpus's "speculation wins" shape).
+int *ivec(int n) { return (int*)malloc(n); }
+
+int main() {
+	int n = arg(0);
+	int iters = arg(1);
+	int *a = ivec(n);
+	int *b = ivec(n);
+	for (int i = 0; i < n; i++) {
+		a[i] = i * 3 + 1;
+		b[i] = 0;
+	}
+	int sum = 0;
+	for (int t = 0; t < iters; t++) {
+		for (int i = 0; i < n; i++) {
+			int x = a[i];
+			b[i] = b[i] + x;
+			sum = sum + a[i];
+		}
+	}
+	print(sum);
+	return 0;
+}

@@ -1,0 +1,30 @@
+// profile-args: 16 2
+// ref-args: 32 2
+// Call-heavy kernel: a helper that writes one array while the caller
+// re-reads another — callmod/callref alias patterns.
+int *ivec(int n) { return (int*)malloc(n); }
+
+void bump(int *dst, int i, int v) {
+	dst[i] = dst[i] + v;
+}
+
+int main() {
+	int n = arg(0);
+	int iters = arg(1);
+	int *src = ivec(n);
+	int *dst = ivec(n);
+	for (int i = 0; i < n; i++) {
+		src[i] = i + 1;
+		dst[i] = 0;
+	}
+	int sum = 0;
+	for (int t = 0; t < iters; t++) {
+		for (int i = 0; i < n; i++) {
+			int x = src[i];
+			bump(dst, i, x);
+			sum = sum + src[i];
+		}
+	}
+	print(sum);
+	return 0;
+}

@@ -1,0 +1,203 @@
+package fleet
+
+// End-to-end fleet tests against real internal/server handlers: the
+// coordinator's reports must be byte-identical to the single-node CLI
+// path at any fleet size, including a fleet degraded by a dead worker.
+// (These servers share the process-global compilation cache; the CI
+// fleet-smoke job covers separate worker processes wired through the
+// remote cache tier.)
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/server"
+)
+
+const corpusDir = "../experiments/testdata/corpus"
+
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := server.New(server.Config{
+		Workers: 4,
+		Queue:   32,
+		Logger:  log.New(io.Discard, "", 0),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func fleetCoord(t *testing.T, urls ...string) *Coordinator {
+	t.Helper()
+	return newCoord(t, Config{
+		Workers:    urls,
+		Retries:    2,
+		Backoff:    5 * time.Millisecond,
+		HedgeAfter: -1,
+		Timeout:    2 * time.Minute,
+	})
+}
+
+func corpusBytes(t *testing.T, c *Coordinator, files []experiments.CorpusFile) []byte {
+	t.Helper()
+	rep, err := c.Corpus(context.Background(), files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := experiments.MarshalCorpusReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFleetCorpusByteIdenticalAcrossFleetSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a corpus")
+	}
+	files, err := experiments.LoadCorpusDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the ground truth: the single-process CLI path
+	rep, err := experiments.RunCorpusDirCtx(context.Background(), corpusDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.MarshalCorpusReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) == 0 {
+		t.Fatal("testdata corpus should include a failing file")
+	}
+
+	w1, w2 := newWorker(t), newWorker(t)
+	one := corpusBytes(t, fleetCoord(t, w1.URL), files)
+	two := corpusBytes(t, fleetCoord(t, w1.URL, w2.URL), files)
+	if !bytes.Equal(want, one) {
+		t.Fatalf("1-worker fleet report differs from single-node:\n%s\nvs\n%s", want, one)
+	}
+	if !bytes.Equal(want, two) {
+		t.Fatalf("2-worker fleet report differs from single-node:\n%s\nvs\n%s", want, two)
+	}
+}
+
+// TestFleetDegradedByDeadWorkerByteIdentical is satellite coverage for
+// the health breaker: one of two workers is permanently unreachable, the
+// fleet degrades to the remaining shard, and the report bytes do not
+// change.
+func TestFleetDegradedByDeadWorkerByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a corpus")
+	}
+	files, err := experiments.LoadCorpusDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := experiments.RunCorpusDirCtx(context.Background(), corpusDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.MarshalCorpusReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := newWorker(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // refuses every dial from here on
+	c := newCoord(t, Config{
+		Workers:    []string{dead.URL, live.URL},
+		Retries:    2,
+		Backoff:    5 * time.Millisecond,
+		HedgeAfter: 50 * time.Millisecond,
+		Timeout:    2 * time.Minute,
+		DownAfter:  2,
+	})
+	got := corpusBytes(t, c, files)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("degraded fleet report differs from single-node:\n%s\nvs\n%s", want, got)
+	}
+}
+
+// TestFleetWarmCorpusRecomputesNothing pins the warm-path acceptance
+// criterion at the in-process level: a second corpus run over the same
+// sources performs zero profiling executions anywhere in the fleet.
+func TestFleetWarmCorpusRecomputesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a corpus")
+	}
+	files, err := experiments.LoadCorpusDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := newWorker(t), newWorker(t)
+	c := fleetCoord(t, w1.URL, w2.URL)
+	cold := corpusBytes(t, c, files)
+	before := repro.ProfilingRuns()
+	warm := corpusBytes(t, c, files)
+	if after := repro.ProfilingRuns(); after != before {
+		t.Fatalf("warm corpus run performed %d profiling executions, want 0", after-before)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm corpus report differs from cold")
+	}
+}
+
+func TestFleetSweepByteIdenticalAcrossFleetSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and times workloads")
+	}
+	var names []string
+	for _, w := range experiments.ListWorkloads() {
+		names = append(names, w.Name)
+		if len(names) == 2 {
+			break
+		}
+	}
+	m1, m2 := machine.Defaults(), machine.Defaults()
+	m2.ALATSize = 4
+	grid := []machine.Config{m1, m2}
+
+	w1, w2 := newWorker(t), newWorker(t)
+	s1, err := fleetCoord(t, w1.URL).SweepAll(context.Background(), names, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fleetCoord(t, w1.URL, w2.URL).SweepAll(context.Background(), names, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := MarshalSweeps(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := MarshalSweeps(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("fleet sweep differs across fleet sizes:\n%s\nvs\n%s", b1, b2)
+	}
+	if len(s1) != 2 || len(s1[0].Points) != 2 {
+		t.Fatalf("sweep shape = %d workloads × %d points", len(s1), len(s1[0].Points))
+	}
+	for _, ws := range s1 {
+		for _, p := range ws.Points {
+			if p.Cycles == 0 {
+				t.Fatalf("workload %s has a zero-cycle point", ws.Workload)
+			}
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package fleet is the coordinator side of a specd fleet: it shards a
+// sweep's (workload × config) grid or a corpus of MiniC sources across
+// N specd workers and folds their responses into one report that is
+// byte-identical to a single-node run.
+//
+// The pieces:
+//
+//   - placement: items are assigned by rendezvous hashing on the same
+//     content-addressed cache key the workers' remote cache tier uses
+//     (cache.HRWRank), so identical programs land on the node that is
+//     already warm for them — with a bounded-load cap (ceil(n/workers)
+//     items per worker, spilling to the next-ranked peer) so a small
+//     grid cannot collapse onto one node;
+//   - dispatch: bounded concurrency over HTTP with per-request
+//     timeouts, per-item retry with exponential backoff, and hedged
+//     requests — after HedgeAfter with no response, the same item is
+//     launched on the next-ranked worker and the loser is cancelled
+//     through its request context;
+//   - health: a worker that fails repeatedly is marked down and skipped
+//     in placement until a cooldown passes; a permanently-down worker
+//     degrades the fleet to the remaining shards, never the report
+//     (results are deterministic, so where an item ran is invisible);
+//   - aggregation: responses are parsed with the experiments package's
+//     own wire formats and folded by its order-independent aggregators,
+//     which is what makes "1 worker or N" produce identical bytes.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// Config shapes a Coordinator. Workers is required; everything else has
+// a usable zero value.
+type Config struct {
+	// Workers are the specd base URLs (e.g. "http://127.0.0.1:8080").
+	Workers []string
+	// Client is the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+	// Concurrency bounds the coordinator's in-flight requests
+	// (0 = 2 per worker).
+	Concurrency int
+	// Retries is the number of re-dispatches after a failed attempt
+	// (0 = default 3; negative = none). Retries rotate through the
+	// item's ranked workers, so they double as failover.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt
+	// (0 = default 100ms).
+	Backoff time.Duration
+	// HedgeAfter launches a second copy of an item on the next-ranked
+	// worker when the first has not answered within this duration; the
+	// first response wins and the loser's request context is cancelled
+	// (0 = default 2s; negative = hedging off).
+	HedgeAfter time.Duration
+	// Timeout bounds each HTTP attempt (0 = default 120s).
+	Timeout time.Duration
+	// DownAfter is how many consecutive failures mark a worker down
+	// (0 = default 3).
+	DownAfter int
+	// DownFor is how long a down worker is skipped in placement before
+	// it is probed again (0 = default 15s).
+	DownFor time.Duration
+	// Logger receives dispatch diagnostics (nil = silent).
+	Logger *log.Logger
+}
+
+// timeNow is a test seam for health-cooldown clocks.
+var timeNow = time.Now
+
+// Coordinator shards work across a specd fleet. Safe for concurrent
+// use.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+
+	mu     sync.Mutex
+	health map[string]*workerHealth
+}
+
+type workerHealth struct {
+	consecFails int
+	downUntil   time.Time
+}
+
+// New builds a Coordinator over cfg.Workers.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2 * len(cfg.Workers)
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 2 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.DownFor <= 0 {
+		cfg.DownFor = 15 * time.Second
+	}
+	c := &Coordinator{cfg: cfg, client: cfg.Client, health: map[string]*workerHealth{}}
+	for _, w := range cfg.Workers {
+		c.health[w] = &workerHealth{}
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// alive returns the workers currently considered up. When every worker
+// is down it returns all of them: total refusal would stall the sweep,
+// and probing everything is the only way back.
+func (c *Coordinator) alive(now time.Time) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var up []string
+	for _, w := range c.cfg.Workers {
+		if h := c.health[w]; h.downUntil.IsZero() || now.After(h.downUntil) {
+			up = append(up, w)
+		}
+	}
+	if len(up) == 0 {
+		return append([]string(nil), c.cfg.Workers...)
+	}
+	return up
+}
+
+func (c *Coordinator) markResult(worker string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health[worker]
+	if h == nil {
+		return
+	}
+	if ok {
+		h.consecFails = 0
+		h.downUntil = time.Time{}
+		return
+	}
+	h.consecFails++
+	if h.consecFails >= c.cfg.DownAfter {
+		h.downUntil = time.Now().Add(c.cfg.DownFor)
+		c.logf("fleet: worker %s marked down for %s after %d consecutive failures", worker, c.cfg.DownFor, h.consecFails)
+	}
+}
+
+// Assign places items (by cache key) onto the currently-alive workers:
+// rendezvous order per key with a bounded-load cap of ceil(n/workers)
+// per worker, spilling to the next-ranked peer. Deterministic given the
+// same keys and worker set; the cap is what keeps a small grid from
+// hashing onto one node (pure HRW can split 8 items 6/2, forfeiting
+// half the fleet).
+func Assign(keys []cache.Key, workers []string) []string {
+	if len(workers) == 0 {
+		return make([]string, len(keys))
+	}
+	capacity := (len(keys) + len(workers) - 1) / len(workers)
+	load := map[string]int{}
+	// items are placed in key order (not slice order) so the placement
+	// is a pure function of the key set
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return bytes.Compare(keys[idx[a]][:], keys[idx[b]][:]) < 0
+	})
+	out := make([]string, len(keys))
+	for _, i := range idx {
+		ranked := cache.HRWRank(keys[i], workers)
+		chosen := ranked[0]
+		for _, w := range ranked {
+			if load[w] < capacity {
+				chosen = w
+				break
+			}
+		}
+		load[chosen]++
+		out[i] = chosen
+	}
+	return out
+}
+
+// errPermanent wraps a worker response that is a deterministic job
+// failure (4xx/5xx with the service's error envelope), not worker
+// trouble: retrying it elsewhere would produce the same answer, so the
+// dispatcher surfaces it immediately.
+type errPermanent struct{ msg string }
+
+func (e *errPermanent) Error() string { return e.msg }
+
+// JobError extracts the service-reported error message from a dispatch
+// failure, or "" if the failure was transport-level (worker down,
+// timeout) rather than a deterministic job failure.
+func JobError(err error) string {
+	var pe *errPermanent
+	if errors.As(err, &pe) {
+		return pe.msg
+	}
+	return ""
+}
+
+// errorBody mirrors the server's JSON error envelope.
+type errorBody struct {
+	Error     string `json:"error"`
+	RequestID string `json:"requestID"`
+}
+
+// post runs one HTTP attempt against one worker. The returned error is
+// *errPermanent for deterministic job failures; anything else is worker
+// trouble and retryable.
+func (c *Coordinator) post(ctx context.Context, worker, path string, body []byte) ([]byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, worker+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return data, nil
+	case resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusInternalServerError:
+		// the job itself failed, deterministically: every worker would
+		// say the same, so carry the service's message out as permanent
+		var eb errorBody
+		if jerr := json.Unmarshal(data, &eb); jerr == nil && eb.Error != "" {
+			return nil, &errPermanent{msg: eb.Error}
+		}
+		return nil, &errPermanent{msg: fmt.Sprintf("worker returned %d", resp.StatusCode)}
+	default:
+		// 429 (overloaded), 503 (draining), 504 (timed out), and
+		// anything unexpected: worker trouble, retry elsewhere
+		return nil, fmt.Errorf("worker %s: status %d", worker, resp.StatusCode)
+	}
+}
+
+// reply is one attempt's outcome inside the hedged dispatch.
+type reply struct {
+	worker string
+	data   []byte
+	err    error
+}
+
+// dispatch runs one item to completion: hedged attempt on the item's
+// preferred + next-ranked worker, then retry-with-backoff rotating
+// through the ranking, marking worker health as it goes. preferred is
+// the bounded-load placement from Assign; the HRW ranking provides the
+// failover order behind it.
+func (c *Coordinator) dispatch(ctx context.Context, key cache.Key, preferred, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		order := c.rankFor(key, preferred, attempt)
+		data, err := c.tryHedged(ctx, order, path, body)
+		if err == nil {
+			return data, nil
+		}
+		if JobError(err) != "" {
+			return nil, err // deterministic job failure: no retry helps
+		}
+		lastErr = err
+		if attempt >= c.cfg.Retries {
+			break
+		}
+		// exponential backoff, honoring cancellation
+		delay := c.cfg.Backoff << uint(attempt)
+		c.logf("fleet: attempt %d for %s failed (%v), retrying in %s", attempt+1, path, err, delay)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("fleet: all %d attempts failed: %w", c.cfg.Retries+1, lastErr)
+}
+
+// rankFor builds the attempt's worker order: the preferred placement
+// first, then the key's HRW ranking over currently-alive workers,
+// rotated by attempt so consecutive retries try different nodes.
+func (c *Coordinator) rankFor(key cache.Key, preferred string, attempt int) []string {
+	ranked := cache.HRWRank(key, c.alive(time.Now()))
+	order := make([]string, 0, len(ranked)+1)
+	if preferred != "" {
+		order = append(order, preferred)
+	}
+	for _, w := range ranked {
+		if w != preferred {
+			order = append(order, w)
+		}
+	}
+	if len(order) == 0 {
+		order = append(order, c.cfg.Workers...)
+	}
+	if attempt > 0 {
+		rot := attempt % len(order)
+		order = append(order[rot:len(order):len(order)], order[:rot]...)
+	}
+	return order
+}
+
+// tryHedged runs one attempt: the first worker in order immediately
+// and, if HedgeAfter passes with no reply, the second as a hedge. The
+// first success (or deterministic job failure) wins and the loser is
+// cancelled through its request context. Both outcomes update worker
+// health.
+func (c *Coordinator) tryHedged(ctx context.Context, order []string, path string, body []byte) ([]byte, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels whichever request is still in flight
+	replies := make(chan reply, 2)
+	launch := func(worker string) {
+		go func() {
+			data, err := c.post(hctx, worker, path, body)
+			replies <- reply{worker: worker, data: data, err: err}
+		}()
+	}
+	launch(order[0])
+	inflight := 1
+
+	var hedge <-chan time.Time
+	if c.cfg.HedgeAfter > 0 && len(order) > 1 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case <-hedge:
+			hedge = nil
+			c.logf("fleet: hedging %s onto %s", path, order[1])
+			launch(order[1])
+			inflight++
+		case r := <-replies:
+			inflight--
+			if r.err == nil {
+				c.markResult(r.worker, true)
+				return r.data, nil
+			}
+			if msg := JobError(r.err); msg != "" {
+				// the job failed deterministically; the worker itself is fine
+				c.markResult(r.worker, true)
+				return nil, r.err
+			}
+			// losers cancelled by our own hedge winner would show up as
+			// context.Canceled — but we only get here when nothing has
+			// won yet, so this is a real failure
+			c.markResult(r.worker, false)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 {
+				// primary failed fast and the hedge timer hasn't fired:
+				// fire the hedge worker immediately as the fallback
+				if hedge != nil && len(order) > 1 {
+					hedge = nil
+					launch(order[1])
+					inflight++
+					continue
+				}
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

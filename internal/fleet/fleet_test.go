@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+func testKey(i int) cache.Key { return cache.KeyOf([]byte(fmt.Sprintf("item-%d", i))) }
+
+func TestAssignBoundedLoad(t *testing.T) {
+	workers := []string{"http://a", "http://b"}
+	keys := make([]cache.Key, 8)
+	for i := range keys {
+		keys[i] = testKey(i)
+	}
+	got := Assign(keys, workers)
+	load := map[string]int{}
+	for i, w := range got {
+		if w == "" {
+			t.Fatalf("item %d unassigned", i)
+		}
+		load[w]++
+	}
+	// capacity = ceil(8/2) = 4: the bounded-load cap forces an even
+	// split no matter how the hash falls
+	if load["http://a"] != 4 || load["http://b"] != 4 {
+		t.Fatalf("load = %v, want 4/4", load)
+	}
+	// deterministic: same keys, same workers -> same placement
+	again := Assign(keys, workers)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("placement not deterministic at %d", i)
+		}
+	}
+	// placement is a function of the key, not the slice position:
+	// reversing the items permutes the output identically
+	rev := make([]cache.Key, len(keys))
+	for i := range keys {
+		rev[i] = keys[len(keys)-1-i]
+	}
+	revGot := Assign(rev, workers)
+	for i := range keys {
+		if revGot[len(keys)-1-i] != got[i] {
+			t.Fatalf("placement depends on item order")
+		}
+	}
+}
+
+func TestAssignAffinityUnderGrowth(t *testing.T) {
+	// Adding a worker must keep most keys where they were (rendezvous
+	// hashing's point): with the load cap at ceil(n/w), strictly fewer
+	// than half the keys may move when going 2 -> 3 workers.
+	keys := make([]cache.Key, 30)
+	for i := range keys {
+		keys[i] = testKey(i)
+	}
+	two := Assign(keys, []string{"http://a", "http://b"})
+	three := Assign(keys, []string{"http://a", "http://b", "http://c"})
+	moved := 0
+	for i := range keys {
+		if two[i] != three[i] && three[i] != "http://c" {
+			moved++ // moved between surviving workers, not to the new one
+		}
+	}
+	if moved > len(keys)/2 {
+		t.Fatalf("%d/%d keys reshuffled between surviving workers", moved, len(keys))
+	}
+}
+
+// jsonWorker is a fake specd answering every POST with a canned JSON
+// body after an optional delay, recording request contexts.
+type jsonWorker struct {
+	delay     time.Duration
+	body      string
+	status    int
+	calls     atomic.Int64
+	cancelled atomic.Int64
+}
+
+func (f *jsonWorker) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.calls.Add(1)
+		// drain the body like the real handlers do: the server only
+		// notices a client cancellation once no request bytes are pending
+		io.Copy(io.Discard, r.Body)
+		if f.delay > 0 {
+			select {
+			case <-time.After(f.delay):
+			case <-r.Context().Done():
+				f.cancelled.Add(1)
+				return
+			}
+		}
+		status := f.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprintln(w, f.body)
+	})
+}
+
+func newCoord(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHedgedRequestCancelsLoser(t *testing.T) {
+	slow := &jsonWorker{delay: 5 * time.Second, body: `{"from":"slow"}`}
+	fast := &jsonWorker{body: `{"from":"fast"}`}
+	slowSrv := httptest.NewServer(slow.handler())
+	defer slowSrv.Close()
+	fastSrv := httptest.NewServer(fast.handler())
+	defer fastSrv.Close()
+
+	c := newCoord(t, Config{
+		Workers:    []string{slowSrv.URL, fastSrv.URL},
+		HedgeAfter: 20 * time.Millisecond,
+		Timeout:    10 * time.Second,
+	})
+	start := time.Now()
+	// preferred = the slow worker, so the hedge is what wins
+	data, err := c.dispatch(context.Background(), testKey(1), slowSrv.URL, "/corpus", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"from\":\"fast\"}\n" {
+		t.Fatalf("got %q, want the hedge's response", data)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("hedge did not preempt the slow worker (%s elapsed)", el)
+	}
+	// the loser's request context must be cancelled promptly
+	deadline := time.Now().Add(2 * time.Second)
+	for slow.cancelled.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if slow.cancelled.Load() == 0 {
+		t.Fatal("slow worker's request was not cancelled after the hedge won")
+	}
+}
+
+func TestRetriesRespectBackoff(t *testing.T) {
+	var n atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= 2 {
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	defer flaky.Close()
+
+	backoff := 30 * time.Millisecond
+	c := newCoord(t, Config{
+		Workers:    []string{flaky.URL},
+		Retries:    3,
+		Backoff:    backoff,
+		HedgeAfter: -1,
+		Timeout:    5 * time.Second,
+	})
+	start := time.Now()
+	data, err := c.dispatch(context.Background(), testKey(1), flaky.URL, "/sweep", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"ok\":true}\n" {
+		t.Fatalf("got %q", data)
+	}
+	if n.Load() != 3 {
+		t.Fatalf("worker saw %d attempts, want 3", n.Load())
+	}
+	// two failures -> backoff + 2*backoff of waiting before the success
+	if el := time.Since(start); el < 3*backoff {
+		t.Fatalf("retries did not back off: %s elapsed, want >= %s", el, 3*backoff)
+	}
+}
+
+func TestRetryCancelledDuringBackoff(t *testing.T) {
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close() // every attempt fails at the dial
+	c := newCoord(t, Config{
+		Workers:    []string{down.URL},
+		Retries:    10,
+		Backoff:    time.Hour, // the test would hang if ctx were ignored
+		HedgeAfter: -1,
+		Timeout:    time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.dispatch(ctx, testKey(1), down.URL, "/sweep", []byte(`{}`))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || ctx.Err() == nil {
+			t.Fatalf("dispatch = %v, want ctx error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatch did not honor cancellation during backoff")
+	}
+}
+
+func TestPermanentJobErrorNotRetried(t *testing.T) {
+	bad := &jsonWorker{status: http.StatusBadRequest, body: `{"error":"minic:1:1: no","requestID":"req-1"}`}
+	srv := httptest.NewServer(bad.handler())
+	defer srv.Close()
+	other := &jsonWorker{body: `{}`}
+	otherSrv := httptest.NewServer(other.handler())
+	defer otherSrv.Close()
+
+	c := newCoord(t, Config{
+		Workers:    []string{srv.URL, otherSrv.URL},
+		Retries:    5,
+		Backoff:    time.Millisecond,
+		HedgeAfter: -1,
+		Timeout:    5 * time.Second,
+	})
+	_, err := c.dispatch(context.Background(), testKey(1), srv.URL, "/corpus", []byte(`{}`))
+	if err == nil {
+		t.Fatal("want a permanent job error")
+	}
+	if JobError(err) != "minic:1:1: no" {
+		t.Fatalf("JobError = %q", JobError(err))
+	}
+	if bad.calls.Load() != 1 {
+		t.Fatalf("permanent failure was retried %d times", bad.calls.Load())
+	}
+	if other.calls.Load() != 0 {
+		t.Fatalf("permanent failure was failed over to another worker")
+	}
+}
+
+func TestDownWorkerFailsOver(t *testing.T) {
+	live := &jsonWorker{body: `{"ok":true}`}
+	liveSrv := httptest.NewServer(live.handler())
+	defer liveSrv.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	c := newCoord(t, Config{
+		Workers:    []string{dead.URL, liveSrv.URL},
+		Retries:    2,
+		Backoff:    time.Millisecond,
+		HedgeAfter: 50 * time.Millisecond,
+		Timeout:    5 * time.Second,
+		DownAfter:  2,
+	})
+	// every item prefers the dead worker; all must land on the live one
+	for i := 0; i < 6; i++ {
+		data, err := c.dispatch(context.Background(), testKey(i), dead.URL, "/sweep", []byte(`{}`))
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if string(data) != "{\"ok\":true}\n" {
+			t.Fatalf("item %d: %q", i, data)
+		}
+	}
+	// the dead worker crossed DownAfter failures: it is skipped in
+	// placement until the cooldown passes
+	alive := c.alive(timeNow())
+	if len(alive) != 1 || alive[0] != liveSrv.URL {
+		t.Fatalf("alive = %v, want only the live worker", alive)
+	}
+}
+
+func TestNewValidatesWorkers(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no workers must fail")
+	}
+}
+
+func TestJobErrorOnTransportFailure(t *testing.T) {
+	if JobError(fmt.Errorf("dial tcp: connection refused")) != "" {
+		t.Fatal("transport errors must not read as job errors")
+	}
+	var err error = &errPermanent{msg: "boom"}
+	if JobError(fmt.Errorf("wrapped: %w", err)) != "boom" {
+		t.Fatal("wrapped permanent errors must surface their message")
+	}
+}
+
+// TestErrorBodyShape pins the coordinator's parse of the server error
+// envelope against drift: the envelope is produced by
+// internal/server.writeError and consumed here.
+func TestErrorBodyShape(t *testing.T) {
+	raw := `{"error":"compile failed","requestID":"req-000001"}`
+	var eb errorBody
+	if err := json.Unmarshal([]byte(raw), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error != "compile failed" || eb.RequestID != "req-000001" {
+		t.Fatalf("parsed %+v", eb)
+	}
+}

@@ -1,0 +1,130 @@
+package fleet
+
+// The fleet's two batch operations: a machine-config sweep over
+// registered workloads and a corpus analysis over MiniC sources. Both
+// shard by content-addressed key through Assign, dispatch with
+// retry/hedging, and fold responses with the experiments package's
+// order-independent aggregation — the reports are byte-identical to a
+// single-node run at any fleet size.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/server"
+)
+
+// WorkloadSweep is one workload's sweep grid, as returned by specd's
+// POST /sweep.
+type WorkloadSweep struct {
+	Workload string                     `json:"workload"`
+	Points   []experiments.MachinePoint `json:"points"`
+}
+
+// SweepAll runs the (workload × config) grid across the fleet: one
+// /sweep job per workload (nil configs = the standard mixed 24-config
+// grid), sharded by workload key so repeat sweeps land on warm nodes.
+// Results come back in input order regardless of which worker answered
+// or when. A failed workload fails the sweep — grids are all-or-
+// nothing.
+func (c *Coordinator) SweepAll(ctx context.Context, names []string, configs []machine.Config) ([]WorkloadSweep, error) {
+	keys := make([]cache.Key, len(names))
+	for i, n := range names {
+		keys[i] = cache.KeyOf([]byte("fleet-sweep"), []byte(n))
+	}
+	preferred := Assign(keys, c.alive(timeNow()))
+	out := make([]WorkloadSweep, len(names))
+	err := par.EachCtx(ctx, c.cfg.Concurrency, len(names), func(i int) error {
+		body, err := json.Marshal(server.SweepRequest{Workload: names[i], Configs: configs})
+		if err != nil {
+			return err
+		}
+		data, err := c.dispatch(ctx, keys[i], preferred[i], "/sweep", body)
+		if err != nil {
+			return fmt.Errorf("fleet: sweep %s: %w", names[i], err)
+		}
+		var resp server.SweepResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return fmt.Errorf("fleet: sweep %s: bad response: %w", names[i], err)
+		}
+		out[i] = WorkloadSweep{Workload: resp.Workload, Points: resp.Points}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MarshalSweeps renders a fleet sweep as canonical indented JSON with a
+// trailing newline.
+func MarshalSweeps(sweeps []WorkloadSweep) ([]byte, error) {
+	data, err := json.MarshalIndent(sweeps, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// CorpusKey is the content-addressed placement key of one corpus file —
+// the same "identical programs land on the same node" key the remote
+// cache tier shards by.
+func CorpusKey(f experiments.CorpusFile) cache.Key {
+	return cache.KeyOf([]byte("fleet-corpus"), []byte(f.Source))
+}
+
+// Corpus analyzes a corpus fleet-wide: one /corpus job per file,
+// sharded by source content, folded with AggregateCorpus. A file the
+// pipeline cannot analyze (a deterministic job failure, e.g. a parse
+// error) becomes a CorpusFailure carrying the service's own error
+// string — the same string a single-node run records, so failed files
+// do not break byte-identity. A file that cannot be dispatched at all
+// (every worker unreachable through all retries) fails the run.
+func (c *Coordinator) Corpus(ctx context.Context, files []experiments.CorpusFile) (*experiments.CorpusReport, error) {
+	keys := make([]cache.Key, len(files))
+	for i, f := range files {
+		keys[i] = CorpusKey(f)
+	}
+	preferred := Assign(keys, c.alive(timeNow()))
+	results := make([]*experiments.CorpusFileResult, len(files))
+	fails := make([]*experiments.CorpusFailure, len(files))
+	err := par.EachCtx(ctx, c.cfg.Concurrency, len(files), func(i int) error {
+		body, err := json.Marshal(server.CorpusRequest{Name: files[i].Name, Source: files[i].Source})
+		if err != nil {
+			return err
+		}
+		data, err := c.dispatch(ctx, keys[i], preferred[i], "/corpus", body)
+		if err != nil {
+			if msg := JobError(err); msg != "" {
+				fails[i] = &experiments.CorpusFailure{Name: files[i].Name, Error: msg}
+				return nil
+			}
+			return fmt.Errorf("fleet: corpus %s: %w", files[i].Name, err)
+		}
+		res, err := experiments.UnmarshalCorpusFile(data)
+		if err != nil {
+			return fmt.Errorf("fleet: corpus %s: %w", files[i].Name, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ok []*experiments.CorpusFileResult
+	var failed []experiments.CorpusFailure
+	for i := range files {
+		if results[i] != nil {
+			ok = append(ok, results[i])
+		}
+		if fails[i] != nil {
+			failed = append(failed, *fails[i])
+		}
+	}
+	return experiments.AggregateCorpus(ok, failed), nil
+}

@@ -175,12 +175,22 @@ func (m *metrics) write(w io.Writer) {
 		{"specd_cache_mem_misses_total", "In-memory cache tier misses.", cs.MemMisses},
 		{"specd_cache_disk_hits_total", "On-disk cache tier hits.", cs.DiskHits},
 		{"specd_cache_disk_misses_total", "On-disk cache tier misses.", cs.DiskMisses},
+		{"specd_cache_remote_hits_total", "Remote (peer) cache tier hits.", cs.RemoteHits},
+		{"specd_cache_remote_misses_total", "Remote (peer) cache tier misses.", cs.RemoteMisses},
+		{"specd_cache_remote_puts_total", "Computed entries pushed to the remote (peer) tier.", cs.RemotePuts},
 		{"specd_cache_computes_total", "Cache compute functions actually run.", cs.Computes},
 		{"specd_cache_evictions_total", "In-memory cache entries evicted.", cs.Evictions},
 		{"specd_cache_corrupt_total", "On-disk cache entries discarded as corrupt.", cs.Corrupt},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 	}
+
+	// profiling interpreter runs actually executed (cache misses): the
+	// fleet smoke test asserts a warm corpus re-run leaves this flat on
+	// every worker — zero recomputation fleet-wide.
+	fmt.Fprintf(w, "# HELP specd_profiling_runs_total Profiling interpreter runs actually executed (profile-cache misses).\n")
+	fmt.Fprintf(w, "# TYPE specd_profiling_runs_total counter\n")
+	fmt.Fprintf(w, "specd_profiling_runs_total %d\n", repro.ProfilingRuns())
 
 	// resident size of the decoded traces the record-and-replay path
 	// keeps in the memory tier (a gauge: eviction and Reset shrink it)

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/specheck"
@@ -105,9 +106,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /cache/{key}", s.handleCachePut)
 	s.mux.HandleFunc("POST /compile", s.job("compile", s.handleCompile))
 	s.mux.HandleFunc("POST /evaluate", s.job("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("POST /sweep", s.job("sweep", s.handleSweep))
+	s.mux.HandleFunc("POST /corpus", s.job("corpus", s.handleCorpus))
 	return s
 }
 
@@ -447,4 +451,82 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) (any, error) 
 		s.metrics.addSpec(0, 0, p.FailedChecks)
 	}
 	return &SweepResponse{Workload: req.Workload, Points: points}, nil
+}
+
+// CorpusRequest is POST /corpus's body: one MiniC source file from a
+// corpus sweep, analyzed into the per-file speculation statistics the
+// coordinator aggregates (see experiments.AggregateCorpus). Name is an
+// opaque label echoed into the result; the analysis is keyed by content.
+type CorpusRequest struct {
+	Name    string `json:"name"`
+	Source  string `json:"source"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+func (s *Server) handleCorpus(ctx context.Context, r *http.Request) (any, error) {
+	var req CorpusRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	// No pre-validation of the source: an unparseable file must fail
+	// with the pipeline's own error so the coordinator's failure
+	// records match a single-node run byte for byte.
+	res, err := experiments.RunCorpusFileCtx(ctx, experiments.CorpusFile{Name: req.Name, Source: req.Source}, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	// MarshalCorpusFile, not a local encoder: the coordinator diffs
+	// fleet output against single-node bytes.
+	return experiments.MarshalCorpusFile(res)
+}
+
+// --- cache peer endpoints ---
+//
+// GET/PUT /cache/{key} serve the remote cache tier to fleet peers.
+// They intentionally bypass the job admission queue: a worker whose
+// slots are all busy computing must still answer peer lookups (the
+// busy jobs may themselves be waiting on peer caches — admission here
+// would deadlock the fleet), and a draining worker keeps serving reads
+// so its warm entries stay reachable while it finishes. Both are
+// cheap, compute-free paths: a peek never runs a compute function and
+// never consults this process's own remote tier.
+
+// maxCachePut bounds an uploaded cache entry, mirroring the remote
+// tier's own response cap.
+const maxCachePut = 64 << 20
+
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key, err := cache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		s.metrics.countRequest("cacheGet", http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, ok := repro.CachePeekBytes(key)
+	if !ok {
+		s.metrics.countRequest("cacheGet", http.StatusNotFound)
+		http.Error(w, "no such entry", http.StatusNotFound)
+		return
+	}
+	s.metrics.countRequest("cacheGet", http.StatusOK)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key, err := cache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		s.metrics.countRequest("cachePut", http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxCachePut+1))
+	if err != nil || len(data) > maxCachePut {
+		s.metrics.countRequest("cachePut", http.StatusRequestEntityTooLarge)
+		http.Error(w, "entry too large or unreadable", http.StatusRequestEntityTooLarge)
+		return
+	}
+	repro.CachePutBytes(key, data)
+	s.metrics.countRequest("cachePut", http.StatusNoContent)
+	w.WriteHeader(http.StatusNoContent)
 }

@@ -267,18 +267,21 @@ func ProfilingRuns() uint64 { return profilingRuns.Load() }
 // CacheCounters is a snapshot of the compilation cache's cumulative
 // hit/miss/compute/evict counters (see internal/cache.Stats).
 type CacheCounters struct {
-	MemHits    uint64
-	MemMisses  uint64
-	DiskHits   uint64
-	DiskMisses uint64
-	Computes   uint64
-	Evictions  uint64
-	Corrupt    uint64
+	MemHits      uint64
+	MemMisses    uint64
+	DiskHits     uint64
+	DiskMisses   uint64
+	RemoteHits   uint64
+	RemoteMisses uint64
+	RemotePuts   uint64
+	Computes     uint64
+	Evictions    uint64
+	Corrupt      uint64
 }
 
 func (s CacheCounters) String() string {
-	return fmt.Sprintf("mem %d/%d hit/miss, disk %d/%d hit/miss, %d computes, %d evictions, %d corrupt",
-		s.MemHits, s.MemMisses, s.DiskHits, s.DiskMisses, s.Computes, s.Evictions, s.Corrupt)
+	return fmt.Sprintf("mem %d/%d hit/miss, disk %d/%d hit/miss, remote %d/%d hit/miss (%d puts), %d computes, %d evictions, %d corrupt",
+		s.MemHits, s.MemMisses, s.DiskHits, s.DiskMisses, s.RemoteHits, s.RemoteMisses, s.RemotePuts, s.Computes, s.Evictions, s.Corrupt)
 }
 
 // CacheStats snapshots the compilation cache counters.
@@ -287,9 +290,30 @@ func CacheStats() CacheCounters {
 	return CacheCounters{
 		MemHits: s.MemHits, MemMisses: s.MemMisses,
 		DiskHits: s.DiskHits, DiskMisses: s.DiskMisses,
+		RemoteHits: s.RemoteHits, RemoteMisses: s.RemoteMisses, RemotePuts: s.RemotePuts,
 		Computes: s.Computes, Evictions: s.Evictions, Corrupt: s.Corrupt,
 	}
 }
+
+// SetCacheRemote installs (or, with nil, removes) the peer/remote tier
+// of the compilation cache: byte entries — serialized profiles and
+// recorded traces — missing from memory and disk are fetched from fleet
+// peers before being computed, and computed entries are pushed to the
+// key's owning peer, so a program profiled on any node is profiled once
+// fleet-wide.
+func SetCacheRemote(r cache.Remote) { compCache.SetRemote(r) }
+
+// CachePeekBytes serves the peer side of the remote tier (specd's
+// GET /cache/{key}): the completed byte entry for key from the memory
+// or disk tier only — it never computes and never consults this
+// process's own remote tier, so peer lookups cannot recurse.
+func CachePeekBytes(key cache.Key) ([]byte, bool) { return compCache.PeekBytes(key) }
+
+// CachePutBytes serves the peer side of remote-tier stores (specd's
+// PUT /cache/{key}): the entry is installed in the memory tier and
+// written through to disk. Existing entries win; values are
+// content-addressed, so any copy is as good as the first.
+func CachePutBytes(key cache.Key, data []byte) { compCache.PutBytes(key, data) }
 
 // TraceCacheBytes reports the heap footprint of every decoded
 // *machine.Trace resident in the in-memory cache tier, in bytes. The
