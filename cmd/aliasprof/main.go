@@ -165,5 +165,35 @@ func run() error {
 		}
 		fmt.Printf("  %s B%d: %d\n", h.fn, h.id, h.count)
 	}
+
+	// per-function speculation counters: compile under the profile just
+	// collected and execute the training input once, attributing each
+	// advanced load, check and mis-speculation to its function — the
+	// same quantities the adaptive tier monitor folds into failure-rate
+	// windows, shown here per function instead of program-summed
+	c, err := repro.Compile(src, repro.Config{Spec: repro.SpecProfile, ProfileArgs: args, ProfileJSON: data})
+	if err != nil {
+		return err
+	}
+	res, err := c.Run(args)
+	if err != nil {
+		return err
+	}
+	fmt.Println("per-function speculation counters (profile-guided build, training input):")
+	if len(res.PerFunc) == 0 {
+		fmt.Println("  (no function retired speculative loads)")
+		return nil
+	}
+	var fns []string
+	for fn := range res.PerFunc {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	fmt.Printf("  %-24s %10s %10s %10s %10s\n", "function", "adv loads", "checks", "hits", "misses")
+	for _, fn := range fns {
+		fc := res.PerFunc[fn]
+		fmt.Printf("  %-24s %10d %10d %10d %10d\n",
+			fn, fc.AdvLoads, fc.CheckLoads, fc.CheckLoads-fc.FailedChecks, fc.FailedChecks)
+	}
 	return nil
 }

@@ -10,7 +10,12 @@
 //     speedups must not DROP by more than the margin. Fleet speedups
 //     are core-count-bound (the file records "cores"), so the gate
 //     only compares runs against a baseline generated on the same CI
-//     runner class.
+//     runner class;
+//   - BENCH_adaptive.json: the adaptive tiering run's end-to-end
+//     speedups over the fixed-aggressive and fixed-conservative
+//     policies must not DROP by more than the margin. These are
+//     deterministic simulated-cycle ratios, not wall clock, so any
+//     drift at all is a behaviour change worth looking at.
 //
 // Single-pass CI benchmark numbers are noisy, so the default margin is
 // deliberately wide (25%); the guarded quantities sit far inside it on
@@ -24,6 +29,7 @@
 //	benchguard -baseline BENCH_machine.baseline.json -fresh BENCH_machine.json \
 //	    [-compile-baseline BENCH_compile.baseline.json -compile-fresh BENCH_compile.json] \
 //	    [-fleet-baseline BENCH_fleet.baseline.json -fleet-fresh BENCH_fleet.json] \
+//	    [-adaptive-baseline BENCH_adaptive.baseline.json -adaptive-fresh BENCH_adaptive.json] \
 //	    [-max-regress 0.25]
 package main
 
@@ -41,10 +47,12 @@ func main() {
 	compileFreshPath := flag.String("compile-fresh", "BENCH_compile.json", "freshly generated BENCH_compile.json")
 	fleetBaselinePath := flag.String("fleet-baseline", "", "committed BENCH_fleet.json to compare against (empty = skip the fleet guard)")
 	fleetFreshPath := flag.String("fleet-fresh", "BENCH_fleet.json", "freshly generated BENCH_fleet.json")
+	adaptiveBaselinePath := flag.String("adaptive-baseline", "", "committed BENCH_adaptive.json to compare against (empty = skip the adaptive guard)")
+	adaptiveFreshPath := flag.String("adaptive-fresh", "BENCH_adaptive.json", "freshly generated BENCH_adaptive.json")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional regression (0.25 = 25%)")
 	flag.Parse()
-	if *baselinePath == "" && *compileBaselinePath == "" && *fleetBaselinePath == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -baseline, -compile-baseline, or -fleet-baseline is required")
+	if *baselinePath == "" && *compileBaselinePath == "" && *fleetBaselinePath == "" && *adaptiveBaselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline, -compile-baseline, -fleet-baseline, or -adaptive-baseline is required")
 		os.Exit(2)
 	}
 
@@ -71,6 +79,18 @@ func main() {
 		// so the sweep guard applies verbatim: higher is better, a drop
 		// beyond the margin fails.
 		ok, err := guardSpeedups(*fleetBaselinePath, *fleetFreshPath, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		failed = failed || !ok
+	}
+	if *adaptiveBaselinePath != "" {
+		// BENCH_adaptive.json carries its headline ratios in the same
+		// object-with-"speedup" shape ("adaptive_vs_aggressive" /
+		// "adaptive_vs_conservative"), so the sweep guard applies:
+		// higher is better, a drop beyond the margin fails.
+		ok, err := guardSpeedups(*adaptiveBaselinePath, *adaptiveFreshPath, *maxRegress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 			os.Exit(2)

@@ -9,6 +9,13 @@
 //	experiments -exp eval -workload equake -json
 //	                            # one (workload, config) point as JSON —
 //	                            # byte-identical to specd's POST /evaluate
+//	experiments -exp eval -workload drift -fn-tiers hot=none -json
+//	                            # the same point with functions pinned to
+//	                            # adaptive tiers — byte-identical to an
+//	                            # adaptive specd serving that assignment
+//	experiments -exp adaptive -json
+//	                            # the drifting-workload run of the adaptive
+//	                            # tiering runtime (BENCH_adaptive.json)
 //	experiments -exp corpus -corpus dir/ -json
 //	                            # per-alias-pattern speculation statistics
 //	                            # over a directory of MiniC sources —
@@ -34,6 +41,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro"
 	"repro/internal/cache"
@@ -45,8 +54,10 @@ import (
 func main() { cli.Main("experiments", run) }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|threshold|eval|corpus")
+	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|threshold|adaptive|eval|corpus")
 	workload := flag.String("workload", "equake", "workload for -exp eval")
+	evalArgs := flag.String("args", "", "comma-separated program input for -exp eval (default: the workload's reference input)")
+	fnTiers := flag.String("fn-tiers", "", "comma-separated fn=tier overrides for -exp eval (tiers: aggressive|cautious|profile|none), e.g. hot=none")
 	corpusDir := flag.String("corpus", "", "directory of MiniC sources for -exp corpus")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of a table (-exp eval and -exp corpus)")
 	workers := flag.Int("workers", 0, "max concurrent compilations (0 = all cores, 1 = serial oracle)")
@@ -147,11 +158,27 @@ func run() error {
 				experiments.PrintThresholdSweep(os.Stdout, s)
 			}
 		}
+	case "adaptive":
+		// the drifting-workload run of the adaptive tiering runtime:
+		// serve traffic whose alias behaviour drifts away from the
+		// training profile, let the tier ladder demote and re-promote,
+		// and compare total cycles against both fixed extremes
+		var res *experiments.AdaptiveResult
+		res, err = experiments.RunAdaptiveCtx(context.Background(), *workers)
+		if err == nil && *jsonOut {
+			var data []byte
+			data, err = experiments.MarshalAdaptive(res)
+			if err == nil {
+				_, err = os.Stdout.Write(data)
+			}
+		} else if err == nil {
+			experiments.PrintAdaptive(os.Stdout, res)
+		}
 	case "eval":
 		// one (workload, config) point through the same code path specd's
 		// POST /evaluate uses; with -json the bytes match the service's
 		// response exactly (the CI smoke job diffs them)
-		err = evalOne(*workload, *workers, *jsonOut)
+		err = evalOne(*workload, *evalArgs, *fnTiers, *workers, *jsonOut)
 	case "corpus":
 		// corpus-scale batch analysis: every MiniC source under -corpus,
 		// aggregated into per-alias-pattern speculation statistics; the
@@ -181,11 +208,33 @@ func run() error {
 }
 
 // evalOne runs a single (workload, default profile-guided config)
-// evaluation and renders it as JSON or a short table.
-func evalOne(name string, workers int, jsonOut bool) error {
-	res, err := experiments.RunEvalCtx(context.Background(), experiments.EvalRequest{
-		Workload: name, Workers: workers,
-	})
+// evaluation and renders it as JSON or a short table. args overrides
+// the workload's reference input; fnTiers pins functions to adaptive
+// tiers ("hot=none,aux=cautious"), reproducing the exact build — and
+// with -json the exact bytes — an adaptive server served under that
+// assignment.
+func evalOne(name, args, fnTiers string, workers int, jsonOut bool) error {
+	req := experiments.EvalRequest{Workload: name, Workers: workers}
+	if args != "" {
+		for _, part := range strings.Split(args, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return cli.Usagef("bad -args: %v", err)
+			}
+			req.Args = append(req.Args, v)
+		}
+	}
+	if fnTiers != "" {
+		req.FnTiers = map[string]string{}
+		for _, pair := range strings.Split(fnTiers, ",") {
+			fn, tier, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || fn == "" || tier == "" {
+				return cli.Usagef("malformed -fn-tiers entry %q (want fn=tier)", pair)
+			}
+			req.FnTiers[fn] = tier
+		}
+	}
+	res, err := experiments.RunEvalCtx(context.Background(), req)
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,12 @@
 //	                 fetched from the peer that owns the key, and computed
 //	                 entries are pushed there)
 //	-peer-timeout    per-peer cache request deadline (default 5s)
+//	-adaptive        enable the online tier-management runtime: served
+//	                 evaluations feed a per-function mis-speculation
+//	                 monitor, functions whose check-failure rate crosses
+//	                 the threshold are demoted down a tier ladder
+//	                 (recompiled, specheck-verified, and hot-swapped),
+//	                 and clean traffic re-promotes them
 //	-pprof           serve net/http/pprof on a separate address (off by default)
 //
 // Endpoints: POST /compile, POST /evaluate, POST /sweep, POST /corpus,
@@ -59,6 +65,7 @@ func run() error {
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "prune the disk cache to this many bytes on shutdown (0 = unbounded)")
 	peers := flag.String("peers", "", "comma-separated base URLs of fleet peers serving GET/PUT /cache/{key}; empty = no remote tier")
 	peerTimeout := flag.Duration("peer-timeout", cache.DefaultPeerTimeout, "per-peer cache request deadline")
+	adaptiveOn := flag.Bool("adaptive", false, "enable online tier management: monitor served evaluations, demote mis-speculating functions, re-promote on clean traffic")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -89,10 +96,11 @@ func run() error {
 
 	logger := log.New(os.Stderr, "specd ", log.LstdFlags|log.Lmsgprefix)
 	s := server.New(server.Config{
-		Workers: *workers,
-		Queue:   *queue,
-		Timeout: *timeout,
-		Logger:  logger,
+		Workers:  *workers,
+		Queue:    *queue,
+		Timeout:  *timeout,
+		Logger:   logger,
+		Adaptive: *adaptiveOn,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -113,7 +121,7 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d queue=%d timeout=%s)", *addr, *workers, *queue, *timeout)
+		logger.Printf("listening on %s (workers=%d queue=%d timeout=%s adaptive=%v)", *addr, *workers, *queue, *timeout, *adaptiveOn)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -133,62 +133,90 @@ func AssignFlags(prog *ir.Program, ar *alias.Result, prof *profile.Profile, mode
 // AssignFlagsPolicy is AssignFlags with an explicit expected-cost policy
 // (consulted only by ModeCost).
 func AssignFlagsPolicy(prog *ir.Program, ar *alias.Result, prof *profile.Profile, mode Mode, pol Policy) {
+	AssignFlagsTiered(prog, ar, prof, mode, pol, nil)
+}
+
+// FnOverride re-tiers one function: its chi/mu flags are assigned under
+// its own mode and policy instead of the program-wide ones. This is the
+// compile-side half of adaptive tiering — flag assignment is purely a
+// per-symbol decision baked into the IR before the speculative use-def
+// walk runs, and the walk's behavior depends only on those flags, so a
+// per-function mode swap is sound without touching the global pipeline
+// configuration.
+type FnOverride struct {
+	Mode   Mode
+	Policy Policy
+}
+
+// AssignFlagsTiered is AssignFlagsPolicy with per-function overrides
+// (keyed by function name; functions absent from the map use the
+// program-wide mode and policy).
+func AssignFlagsTiered(prog *ir.Program, ar *alias.Result, prof *profile.Profile, mode Mode, pol Policy, overrides map[string]FnOverride) {
 	for _, f := range prog.Funcs {
-		for _, b := range f.Blocks {
-			for _, st := range b.Stmts {
-				switch t := st.(type) {
-				case *ir.Assign:
-					if t.RK == ir.RHSLoad && t.Site != 0 {
-						locs := locsFor(prof, mode, t.Site, false)
-						total := siteTotal(prof, mode, t.Site)
-						fp := t.LoadsFrom != nil && t.LoadsFrom.IsFloat()
-						flagMus(f, t.Mus, locs, total, ar, mode, pol, fp)
-						t.Mus = addMissingMus(f, t.Mus, locs, total, ar, mode, pol, fp)
+		fnMode, fnPol := mode, pol
+		if ov, ok := overrides[f.Name]; ok {
+			fnMode, fnPol = ov.Mode, ov.Policy
+		}
+		assignFlagsFunc(f, ar, prof, fnMode, fnPol)
+	}
+}
+
+// assignFlagsFunc assigns every chi/mu flag of one function.
+func assignFlagsFunc(f *ir.Func, ar *alias.Result, prof *profile.Profile, mode Mode, pol Policy) {
+	for _, b := range f.Blocks {
+		for _, st := range b.Stmts {
+			switch t := st.(type) {
+			case *ir.Assign:
+				if t.RK == ir.RHSLoad && t.Site != 0 {
+					locs := locsFor(prof, mode, t.Site, false)
+					total := siteTotal(prof, mode, t.Site)
+					fp := t.LoadsFrom != nil && t.LoadsFrom.IsFloat()
+					flagMus(f, t.Mus, locs, total, ar, mode, pol, fp)
+					t.Mus = addMissingMus(f, t.Mus, locs, total, ar, mode, pol, fp)
+				}
+				// not an else: an indirect load whose destination is
+				// itself a memory-resident scalar also performs a
+				// direct store and carries store-side chis
+				if t.Dst.Sym.InMemory() {
+					// direct store's chi on the virtual variable: a
+					// weak summary update under speculation, a hard
+					// kill otherwise
+					for _, chi := range t.Chis {
+						chi.Spec = mode == ModeNone
 					}
-					// not an else: an indirect load whose destination is
-					// itself a memory-resident scalar also performs a
-					// direct store and carries store-side chis
-					if t.Dst.Sym.InMemory() {
-						// direct store's chi on the virtual variable: a
-						// weak summary update under speculation, a hard
-						// kill otherwise
-						for _, chi := range t.Chis {
-							chi.Spec = mode == ModeNone
-						}
+				}
+			case *ir.IStore:
+				if t.Site != 0 {
+					locs := locsFor(prof, mode, t.Site, true)
+					total := siteTotal(prof, mode, t.Site)
+					fp := t.StoresTo != nil && t.StoresTo.IsFloat()
+					flagChis(f, t.Chis, locs, total, ar, mode, pol, fp)
+					t.Chis = addMissingChis(f, t.Chis, locs, total, ar, mode, pol, fp)
+				}
+			case *ir.Call:
+				// heuristic rule 3: call side effects are always
+				// highly likely (mu list remains unflagged)
+				if mode.ProfileGuided() {
+					// a nil profile (failed training run, or the
+					// aggressive-promotion bound) means no call-site
+					// LOC was ever observed: every side effect stays
+					// a weak, speculatively ignorable update
+					var mod, ref profile.LocSet
+					var total uint64
+					if prof != nil {
+						mod, ref = prof.CallMod[t.Site], prof.CallRef[t.Site]
+						total = siteTotal(prof, mode, t.Site)
 					}
-				case *ir.IStore:
-					if t.Site != 0 {
-						locs := locsFor(prof, mode, t.Site, true)
-						total := siteTotal(prof, mode, t.Site)
-						fp := t.StoresTo != nil && t.StoresTo.IsFloat()
-						flagChis(f, t.Chis, locs, total, ar, mode, pol, fp)
-						t.Chis = addMissingChis(f, t.Chis, locs, total, ar, mode, pol, fp)
+					flagChis(f, t.Chis, mod, total, ar, mode, pol, false)
+					t.Chis = addMissingChis(f, t.Chis, mod, total, ar, mode, pol, false)
+					flagMus(f, t.Mus, ref, total, ar, mode, pol, false)
+				} else {
+					for _, chi := range t.Chis {
+						chi.Spec = true
 					}
-				case *ir.Call:
-					// heuristic rule 3: call side effects are always
-					// highly likely (mu list remains unflagged)
-					if mode.ProfileGuided() {
-						// a nil profile (failed training run, or the
-						// aggressive-promotion bound) means no call-site
-						// LOC was ever observed: every side effect stays
-						// a weak, speculatively ignorable update
-						var mod, ref profile.LocSet
-						var total uint64
-						if prof != nil {
-							mod, ref = prof.CallMod[t.Site], prof.CallRef[t.Site]
-							total = siteTotal(prof, mode, t.Site)
-						}
-						flagChis(f, t.Chis, mod, total, ar, mode, pol, false)
-						t.Chis = addMissingChis(f, t.Chis, mod, total, ar, mode, pol, false)
-						flagMus(f, t.Mus, ref, total, ar, mode, pol, false)
-					} else {
-						for _, chi := range t.Chis {
-							chi.Spec = true
-						}
-						if mode == ModeNone {
-							for _, mu := range t.Mus {
-								mu.Spec = true
-							}
+					if mode == ModeNone {
+						for _, mu := range t.Mus {
+							mu.Spec = true
 						}
 					}
 				}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro"
+	"repro/internal/adaptive"
 	"repro/internal/machine"
 	"repro/internal/par"
 	"repro/internal/ssapre"
@@ -562,7 +563,7 @@ func RunMachineSweepWorkers(name string, workers int) ([]MachinePoint, error) {
 // compilation, the one functional recording, and the per-point replay
 // fan-out, so cancelling a sweep stops claiming grid points promptly.
 func RunMachineSweepCtx(ctx context.Context, name string, cfgs []machine.Config, workers int) ([]MachinePoint, error) {
-	w, ok := workloads.ByName(name)
+	w, ok := workloads.Resolve(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %s", name)
 	}
@@ -628,6 +629,13 @@ type EvalRequest struct {
 	// fails the request. Like Workers it is a diagnostic knob, so it is
 	// normalized out of the echoed config to keep response bytes stable.
 	Verify bool `json:"verify,omitempty"`
+	// FnTiers pins named functions to adaptive tiers ("aggressive",
+	// "cautious", "profile", "none"); the mapped repro.Config.FnSpec
+	// overrides land in the echoed config, so a response produced under
+	// a tier assignment names the exact build that served it and the
+	// CLI can reproduce the bytes with -fn-tiers. Mutually exclusive
+	// with Config.FnSpec (FnTiers wins).
+	FnTiers map[string]string `json:"fnTiers,omitempty"`
 }
 
 // EvalResult is the JSON shape of one evaluation: the request echoed in
@@ -645,7 +653,7 @@ type EvalResult struct {
 // compilation cache cold, warm, or disabled — because every computation
 // under it is (see the determinism tests at the repo root).
 func RunEvalCtx(ctx context.Context, req EvalRequest) (*EvalResult, error) {
-	w, ok := workloads.ByName(req.Workload)
+	w, ok := workloads.Resolve(req.Workload)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", req.Workload)
 	}
@@ -655,6 +663,13 @@ func RunEvalCtx(ctx context.Context, req EvalRequest) (*EvalResult, error) {
 	}
 	if cfg.ProfileArgs == nil {
 		cfg.ProfileArgs = w.ProfileArgs
+	}
+	if len(req.FnTiers) > 0 {
+		fnSpec, err := adaptive.FnSpecs(req.FnTiers)
+		if err != nil {
+			return nil, err
+		}
+		cfg.FnSpec = fnSpec
 	}
 	cfg.Workers = req.Workers
 	if req.Verify {

@@ -155,11 +155,42 @@ type Counters struct {
 	ALATEvictions    int64 // capacity/conflict evictions
 }
 
+// FuncCounters are the per-function speculation counters of one run:
+// the slice of Counters that online tier policy needs attributed to a
+// function rather than program-summed. ALAT hits are
+// CheckLoads−FailedChecks, so the pair carries the full hit/miss
+// split; AdvLoads counts the table inserts those checks validate.
+type FuncCounters struct {
+	CheckLoads   int64
+	FailedChecks int64
+	AdvLoads     int64
+}
+
 // Result of a machine run.
 type Result struct {
 	Ret      int64
 	Output   string
 	Counters Counters
+	// PerFunc maps a function name to its speculation counters. A
+	// function has an entry iff it retired at least one advanced or
+	// check load; the map is nil when no function did. The per-function
+	// values sum to the corresponding program-wide Counters fields.
+	PerFunc map[string]FuncCounters `json:",omitempty"`
+}
+
+// perFuncMap converts the engines' per-activation tally maps (keyed by
+// code pointer for lookup speed) into a Result's name-keyed map,
+// preserving the nil-when-empty convention the differential tests pin
+// across all execution paths.
+func perFuncMap(tallies map[*FuncCode]*FuncCounters) map[string]FuncCounters {
+	if len(tallies) == 0 {
+		return nil
+	}
+	out := make(map[string]FuncCounters, len(tallies))
+	for f, c := range tallies {
+		out[f.Name] = *c
+	}
+	return out
 }
 
 type vm struct {
@@ -193,6 +224,24 @@ type vm struct {
 	trace *Trace
 
 	ctr Counters
+
+	// perFn tallies speculation counters per function, populated lazily
+	// so only functions that retire an advanced or check load pay for
+	// (or appear in) an entry.
+	perFn map[*FuncCode]*FuncCounters
+}
+
+// fnCtr returns (creating on first touch) f's per-function tally.
+func (m *vm) fnCtr(f *FuncCode) *FuncCounters {
+	c := m.perFn[f]
+	if c == nil {
+		if m.perFn == nil {
+			m.perFn = make(map[*FuncCode]*FuncCounters)
+		}
+		c = &FuncCounters{}
+		m.perFn[f] = c
+	}
+	return c
 }
 
 // Run executes the compiled program's main function.
@@ -232,7 +281,7 @@ func execute(prog *Program, args []int64, cfg Config, out io.Writer, trace *Trac
 		m.ctr.Cycles = m.clock
 	}
 	m.ctr.ALATEvictions = m.alat.evictions
-	res := &Result{Ret: int64(ret), Counters: m.ctr}
+	res := &Result{Ret: int64(ret), Counters: m.ctr, PerFunc: perFuncMap(m.perFn)}
 	if sb != nil {
 		res.Output = sb.String()
 	}
@@ -300,8 +349,16 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 	m.depth++
 	m.frameID++
 	myFrame := m.frameID
-	if m.trace != nil && m.depth > m.trace.MaxDepth {
-		m.trace.MaxDepth = m.depth
+	// fnCtr is this activation's per-function tally, fetched lazily at
+	// the first speculation event so event-free functions stay out of
+	// the map; fnID tags recorded ALAT events for replay attribution
+	var fnCtr *FuncCounters
+	var fnID int32
+	if m.trace != nil {
+		fnID = m.trace.fnID(f)
+		if m.depth > m.trace.MaxDepth {
+			m.trace.MaxDepth = m.depth
+		}
 	}
 	base := m.stackTop
 	for i := 0; i < f.FrameSize; i++ {
@@ -496,8 +553,12 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			}
 			if ins.Op == OpLdA || ins.Op == OpLdFA {
 				m.ctr.AdvLoads++
+				if fnCtr == nil {
+					fnCtr = m.fnCtr(f)
+				}
+				fnCtr.AdvLoads++
 				if m.trace != nil {
-					m.trace.ops.append(alatOp{kind: opInsert, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr)})
+					m.trace.ops.append(alatOp{kind: opInsert, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr), fn: fnID})
 				}
 				m.alat.insert(myFrame, ins.Rd, addr)
 			}
@@ -506,13 +567,17 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			addr := int(int64(regs[ins.Rs]))
 			m.ctr.LoadsRetired++
 			m.ctr.CheckLoads++
+			if fnCtr == nil {
+				fnCtr = m.fnCtr(f)
+			}
+			fnCtr.CheckLoads++
 			if m.trace != nil {
 				kind, class := opCheckInt, cCheckInt
 				if ins.Op == OpLdFC {
 					kind, class = opCheckFP, cCheckFP
 				}
 				m.trace.counts[class]++
-				m.trace.ops.append(alatOp{kind: kind, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr)})
+				m.trace.ops.append(alatOp{kind: kind, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr), fn: fnID})
 			}
 			if m.alat.check(myFrame, ins.Rd, addr) {
 				// hit: the register already holds the current value
@@ -520,6 +585,7 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 				m.ctr.DataAccessCycles += lat
 			} else {
 				m.ctr.FailedChecks++
+				fnCtr.FailedChecks++
 				if !m.validAddr(addr) {
 					return 0, false, m.fault("check load from invalid address %d in %s", addr, f.Name)
 				}
@@ -553,8 +619,12 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 				nat[ins.Rd] = false
 				if ins.Op == OpLdSA || ins.Op == OpLdFSA {
 					m.ctr.AdvLoads++
+					if fnCtr == nil {
+						fnCtr = m.fnCtr(f)
+					}
+					fnCtr.AdvLoads++
 					if m.trace != nil {
-						m.trace.ops.append(alatOp{kind: opInsert, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr)})
+						m.trace.ops.append(alatOp{kind: opInsert, frameID: myFrame, reg: int32(ins.Rd), addr: int64(addr), fn: fnID})
 					}
 					m.alat.insert(myFrame, ins.Rd, addr)
 				}
@@ -579,7 +649,7 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 				return 0, false, m.fault("store to invalid address %d in %s", addr, f.Name)
 			}
 			if m.trace != nil {
-				m.trace.ops.append(alatOp{kind: opInval, addr: int64(addr)})
+				m.trace.ops.append(alatOp{kind: opInval, addr: int64(addr), fn: fnID})
 			}
 			m.mem[addr] = regs[ins.Rs]
 			m.alat.invalidate(addr)

@@ -68,7 +68,22 @@ type replayer struct {
 	steps int64
 	clock int64
 
-	ctr Counters
+	ctr   Counters
+	perFn map[*FuncCode]*FuncCounters
+}
+
+// fnCtr returns (creating on first touch) f's per-function tally,
+// mirroring the functional engine's lazy-entry convention.
+func (r *replayer) fnCtr(f *FuncCode) *FuncCounters {
+	c := r.perFn[f]
+	if c == nil {
+		if r.perFn == nil {
+			r.perFn = make(map[*FuncCode]*FuncCounters)
+		}
+		c = &FuncCounters{}
+		r.perFn[f] = c
+	}
+	return c
 }
 
 func (r *replayer) fault(format string, a ...any) error {
@@ -85,10 +100,12 @@ func Replay(prog *Program, t *Trace, cfg Config, out io.Writer) (*Result, error)
 			ErrTraceMismatch, t.StackSlots, cfg.StackSlots)
 	}
 	var ctr Counters
+	var perFn map[string]FuncCounters
 	if !cfg.Pipelined && cfg.MaxSteps >= t.Steps && cfg.MaxCallDepth >= t.MaxDepth {
 		// limits at least as generous as the recorded (completed) run
 		// cannot fault, so the aggregate path is exact
 		ctr = replaySerial(t, cfg)
+		perFn = t.perFuncAt(cfg.ALATSize)
 	} else {
 		r := &replayer{
 			prog: prog,
@@ -114,8 +131,9 @@ func Replay(prog *Program, t *Trace, cfg Config, out io.Writer) (*Result, error)
 		}
 		r.ctr.ALATEvictions = r.alat.evictions
 		ctr = r.ctr
+		perFn = perFuncMap(r.perFn)
 	}
-	res := &Result{Ret: t.Ret, Counters: ctr}
+	res := &Result{Ret: t.Ret, Counters: ctr, PerFunc: perFn}
 	if out == nil {
 		res.Output = t.Output
 	} else if _, err := io.WriteString(out, t.Output); err != nil {
@@ -142,6 +160,19 @@ type alatSummary struct {
 	// instruction walk.
 	missBits []uint64
 	checks   int64
+
+	// perFn tallies events per function (indexed by the trace's
+	// FnNames ids). Inserts and checks are capacity-independent;
+	// failures are not, which is why the tally lives in the summary
+	// rather than the trace.
+	perFn []fnTally
+}
+
+// fnTally is one function's speculation-event tally within a summary.
+type fnTally struct {
+	checks int64
+	failed int64
+	adv    int64
 }
 
 func (s *alatSummary) miss(ord int64) bool {
@@ -157,6 +188,7 @@ func (t *Trace) alatWalk(size int) alatSummary {
 	a := newALAT(size)
 	s := alatSummary{
 		missBits: make([]uint64, (t.counts[cCheckInt]+t.counts[cCheckFP]+63)/64),
+		perFn:    make([]fnTally, len(t.FnNames)),
 	}
 	// iterate the columnar chunks directly — the walk touches every
 	// event, so the per-event cursor bookkeeping of opReader is pure
@@ -168,18 +200,22 @@ func (t *Trace) alatWalk(size int) alatSummary {
 			end = remaining
 		}
 		remaining -= end
-		kinds, regs, frames, addrs := t.ops.kinds[ci], t.ops.regs[ci], t.ops.frames[ci], t.ops.addrs[ci]
+		kinds, regs, frames, addrs, fns := t.ops.kinds[ci], t.ops.regs[ci], t.ops.frames[ci], t.ops.addrs[ci], t.ops.fns[ci]
 		for off := 0; off < int(end); off++ {
 			switch kinds[off] {
 			case opInval:
 				a.invalidate(int(addrs[off]))
 			case opInsert:
 				a.insert(frames[off], int(regs[off]), int(addrs[off]))
+				s.perFn[fns[off]].adv++
 			default: // opCheckInt, opCheckFP
 				ord := s.checks
 				s.checks++
+				tally := &s.perFn[fns[off]]
+				tally.checks++
 				if !a.check(frames[off], int(regs[off]), int(addrs[off])) {
 					s.missBits[ord>>6] |= 1 << uint(ord&63)
+					tally.failed++
 					if kinds[off] == opCheckFP {
 						s.missFP++
 					} else {
@@ -193,6 +229,29 @@ func (t *Trace) alatWalk(size int) alatSummary {
 	s.evictions = a.evictions
 	t.alatMemo.Store(size, s)
 	return s
+}
+
+// perFuncAt builds the per-function counter map of a replay at the
+// given ALAT size from the memoized event-walk summary, following the
+// same convention as direct execution: an entry iff the function
+// retired at least one advanced or check load, nil when none did.
+func (t *Trace) perFuncAt(size int) map[string]FuncCounters {
+	s := t.alatWalk(size)
+	var out map[string]FuncCounters
+	for id, tally := range s.perFn {
+		if tally.checks == 0 && tally.adv == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]FuncCounters)
+		}
+		out[t.FnNames[id]] = FuncCounters{
+			CheckLoads:   tally.checks,
+			FailedChecks: tally.failed,
+			AdvLoads:     tally.adv,
+		}
+	}
+	return out
 }
 
 // replaySerial re-times the trace under the serial model without
@@ -390,6 +449,7 @@ func (r *replayer) walk() error {
 			r.ctr.DataAccessCycles += lat
 			if ins.Op == OpLdA || ins.Op == OpLdFA {
 				r.ctr.AdvLoads++
+				r.fnCtr(f).AdvLoads++
 				addr, err := r.nextAddr()
 				if err != nil {
 					return err
@@ -400,6 +460,8 @@ func (r *replayer) walk() error {
 		case OpLdC, OpLdFC:
 			r.ctr.LoadsRetired++
 			r.ctr.CheckLoads++
+			fctr := r.fnCtr(f)
+			fctr.CheckLoads++
 			addr, err := r.nextAddr()
 			if err != nil {
 				return err
@@ -408,6 +470,7 @@ func (r *replayer) walk() error {
 				lat = latCheckHit
 			} else {
 				r.ctr.FailedChecks++
+				fctr.FailedChecks++
 				if ins.Op == OpLdFC {
 					lat = latFPLoad + missPen
 				} else {
@@ -428,6 +491,7 @@ func (r *replayer) walk() error {
 				r.ctr.SpecLoadFaults++
 			} else if ins.Op == OpLdSA || ins.Op == OpLdFSA {
 				r.ctr.AdvLoads++
+				r.fnCtr(f).AdvLoads++
 				addr, err := r.nextAddr()
 				if err != nil {
 					return err

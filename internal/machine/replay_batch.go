@@ -67,7 +67,7 @@ func ReplayBatch(prog *Program, t *Trace, cfgs []Config) ([]*Result, error) {
 			}
 			results[i] = res
 		case !cfg.Pipelined:
-			results[i] = &Result{Ret: t.Ret, Output: t.Output, Counters: replaySerial(t, cfg)}
+			results[i] = &Result{Ret: t.Ret, Output: t.Output, Counters: replaySerial(t, cfg), PerFunc: t.perFuncAt(cfg.ALATSize)}
 		default:
 			batched = append(batched, i)
 		}
@@ -87,7 +87,7 @@ func ReplayBatch(prog *Program, t *Trace, cfgs []Config) ([]*Result, error) {
 	for j, i := range batched {
 		ctr := replaySerial(t, norm[i])
 		ctr.Cycles = clocks[j]
-		results[i] = &Result{Ret: t.Ret, Output: t.Output, Counters: ctr}
+		results[i] = &Result{Ret: t.Ret, Output: t.Output, Counters: ctr, PerFunc: t.perFuncAt(norm[i].ALATSize)}
 	}
 	return results, nil
 }
@@ -128,10 +128,10 @@ type batchWalker struct {
 	// walk never simulates a table — it reads each check's precomputed
 	// outcome at the shared check ordinal.
 	sums     []alatSummary
-	cfgAlat  []int   // lane -> index into sums
-	hit      []bool  // scratch: per-distinct-size outcome of one check
-	checkOrd int64   // ordinal of the next check event
-	nChecks  int64   // total recorded check events
+	cfgAlat  []int  // lane -> index into sums
+	hit      []bool // scratch: per-distinct-size outcome of one check
+	checkOrd int64  // ordinal of the next check event
+	nChecks  int64  // total recorded check events
 
 	clocks []int64 // per-lane pipeline clock
 	issue  []int64 // scratch: per-lane issue time of the current instruction

@@ -100,6 +100,7 @@ type alatOp struct {
 	frameID int64
 	addr    int64
 	reg     int32
+	fn      int32 // index into Trace.FnNames (per-function attribution)
 	kind    uint8
 }
 
@@ -113,6 +114,7 @@ type opChunks struct {
 	regs   [][]int32
 	frames [][]int64
 	addrs  [][]int64
+	fns    [][]int32
 	n      int64
 }
 
@@ -123,11 +125,13 @@ func (a *opChunks) append(op alatOp) {
 		a.regs = append(a.regs, make([]int32, 0, opChunkLen))
 		a.frames = append(a.frames, make([]int64, 0, opChunkLen))
 		a.addrs = append(a.addrs, make([]int64, 0, opChunkLen))
+		a.fns = append(a.fns, make([]int32, 0, opChunkLen))
 	}
 	a.kinds[ci] = append(a.kinds[ci], op.kind)
 	a.regs[ci] = append(a.regs[ci], op.reg)
 	a.frames[ci] = append(a.frames[ci], op.frameID)
 	a.addrs[ci] = append(a.addrs[ci], op.addr)
+	a.fns[ci] = append(a.fns[ci], op.fn)
 	a.n++
 }
 
@@ -142,6 +146,7 @@ type opReader struct {
 	regs   []int32
 	frames []int64
 	addrs  []int64
+	fns    []int32
 }
 
 func (r *opReader) next() (op alatOp, ok bool) {
@@ -155,12 +160,14 @@ func (r *opReader) next() (op alatOp, ok bool) {
 		r.regs = r.t.regs[ci]
 		r.frames = r.t.frames[ci]
 		r.addrs = r.t.addrs[ci]
+		r.fns = r.t.fns[ci]
 	}
 	op = alatOp{
 		kind:    r.kinds[off],
 		reg:     r.regs[off],
 		frameID: r.frames[off],
 		addr:    r.addrs[off],
+		fn:      r.fns[off],
 	}
 	r.pos++
 	return op, true
@@ -223,6 +230,29 @@ type Trace struct {
 	// Ret and Output are the architectural results of the run.
 	Ret    int64
 	Output string
+
+	// FnNames is the function-name table for per-function attribution:
+	// every recorded ALAT event carries a compact index into it. Order
+	// is first-touch during recording and preserved by Marshal, so a
+	// round-tripped trace replays to identical per-function counters.
+	FnNames []string
+	// fnIDs is the recording-side inverse of FnNames, keyed by code
+	// pointer. Only the single-threaded functional engine touches it.
+	fnIDs map[*FuncCode]int32
+}
+
+// fnID interns f into the trace's function-name table.
+func (t *Trace) fnID(f *FuncCode) int32 {
+	if id, ok := t.fnIDs[f]; ok {
+		return id
+	}
+	if t.fnIDs == nil {
+		t.fnIDs = make(map[*FuncCode]int32)
+	}
+	id := int32(len(t.FnNames))
+	t.FnNames = append(t.FnNames, f.Name)
+	t.fnIDs[f] = id
+	return id
 }
 
 // Events reports the number of recorded events (bits plus ALAT ops),
@@ -240,6 +270,10 @@ func (t *Trace) Bytes() int64 {
 	b += int64(len(t.ops.regs)) * opChunkLen * 4
 	b += int64(len(t.ops.frames)) * opChunkLen * 8
 	b += int64(len(t.ops.addrs)) * opChunkLen * 8
+	b += int64(len(t.ops.fns)) * opChunkLen * 4
+	for _, name := range t.FnNames {
+		b += int64(len(name))
+	}
 	return b + int64(len(t.Output))
 }
 
@@ -261,8 +295,10 @@ func Record(prog *Program, args []int64, cfg Config) (*Trace, error) {
 
 // traceMagic stamps the serialized form; the version is bumped whenever
 // the stream layout or the event set changes (v2 added event kinds,
-// activation/register fields, and the latency-class counts).
-const traceMagic = "reprotrace v2"
+// activation/register fields, and the latency-class counts; v3 added
+// the function-name table and a per-event function index for
+// per-function counter attribution).
+const traceMagic = "reprotrace v3"
 
 // Marshal serializes the trace for spilling through internal/cache
 // (ALAT events are varint-encoded with activation ids delta-coded; the
@@ -280,6 +316,11 @@ func (t *Trace) Marshal() []byte {
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(t.Output)))
 	buf = append(buf, t.Output...)
+	buf = binary.AppendUvarint(buf, uint64(len(t.FnNames)))
+	for _, name := range t.FnNames {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+	}
 	buf = binary.AppendUvarint(buf, uint64(t.bits.n))
 	words := int((t.bits.n + 63) / 64)
 	var w8 [8]byte
@@ -300,6 +341,7 @@ func (t *Trace) Marshal() []byte {
 		buf = binary.AppendVarint(buf, op.frameID-prevFrame)
 		prevFrame = op.frameID
 		buf = binary.AppendVarint(buf, op.addr)
+		buf = binary.AppendUvarint(buf, uint64(op.fn))
 	}
 	return buf
 }
@@ -365,6 +407,18 @@ func UnmarshalTrace(data []byte) (*Trace, error) {
 	}
 	t.Output = string(data[:outLen])
 	data = data[outLen:]
+	nFns, ok := uvar()
+	if !ok {
+		return bad("fn count")
+	}
+	for i := uint64(0); i < nFns; i++ {
+		nameLen, ok := uvar()
+		if !ok || uint64(len(data)) < nameLen {
+			return bad("fn name")
+		}
+		t.FnNames = append(t.FnNames, string(data[:nameLen]))
+		data = data[nameLen:]
+	}
 	nbits, ok := uvar()
 	if !ok {
 		return bad("bit count")
@@ -408,7 +462,11 @@ func UnmarshalTrace(data []byte) (*Trace, error) {
 		if !ok {
 			return bad("op addr")
 		}
-		t.ops.append(alatOp{kind: kind, reg: int32(reg), frameID: prevFrame, addr: addr})
+		fn, ok := uvar()
+		if !ok || fn >= uint64(len(t.FnNames)) {
+			return bad("op fn")
+		}
+		t.ops.append(alatOp{kind: kind, reg: int32(reg), frameID: prevFrame, addr: addr, fn: int32(fn)})
 	}
 	return t, nil
 }

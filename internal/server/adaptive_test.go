@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/experiments"
+)
+
+// quiesceAdaptive waits out the named workload's in-flight recompile,
+// so the next request is served under the freshly published
+// assignment.
+func quiesceAdaptive(t *testing.T, s *Server, workload string) {
+	t.Helper()
+	m, ok := s.adaptiveMgrs.Load(workload)
+	if !ok {
+		t.Fatalf("no adaptive manager for %q", workload)
+	}
+	m.(*adaptive.Manager).Quiesce()
+}
+
+// TestAdaptiveEvaluateLoop drives the full serve -> observe -> demote ->
+// hot-swap -> re-promote loop over plain /evaluate traffic: a drifted
+// input demotes the hot function (visible in the transition and deopt
+// metrics), and the demoted response is byte-identical to a fresh
+// compile pinned to the same tier. Clean traffic then re-promotes.
+func TestAdaptiveEvaluateLoop(t *testing.T) {
+	s := newTestServer(t, Config{
+		Adaptive: true,
+		// One drifted evaluation must close a window and decide, so the
+		// demotion is deterministic for the assertions below.
+		AdaptivePolicy: adaptive.Policy{WindowChecks: 64, WindowEvals: 4, MinChecks: 16},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Drifted traffic: the input aliases on half the hot iterations.
+	resp := postJSON(t, ts, "/evaluate", experiments.EvalRequest{Workload: "drift", Args: []int64{256, 2}})
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drift evaluate = %d %s", resp.StatusCode, body)
+	}
+	quiesceAdaptive(t, s, "drift")
+
+	counters := scrape(t, ts)
+	if got := counters[`specd_tier_transitions_total{from="aggressive",to="cautious"}`]; got != 1 {
+		t.Fatalf("demotion not published: transitions = %v", counters)
+	}
+	if got := counters["specd_deopt_total"]; got != 1 {
+		t.Fatalf("specd_deopt_total = %v, want 1", got)
+	}
+
+	// The next evaluation is served under the swapped assignment; its
+	// bytes must match a fresh CLI compile pinned to the same tier.
+	resp = postJSON(t, ts, "/evaluate", experiments.EvalRequest{Workload: "drift", Args: []int64{256, 64}})
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap evaluate = %d %s", resp.StatusCode, body)
+	}
+	want, err := experiments.RunEvalCtx(context.Background(), experiments.EvalRequest{
+		Workload: "drift",
+		Args:     []int64{256, 64},
+		FnTiers:  map[string]string{"hot": "cautious"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := experiments.MarshalEval(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(wantBytes) {
+		t.Errorf("post-swap response not byte-identical to a fresh compile at the new tier:\n got %s\nwant %s", body, wantBytes)
+	}
+	quiesceAdaptive(t, s, "drift")
+
+	// That clean evaluation closed a clean window: the probation budget
+	// (one clean window after a first demotion) re-promotes.
+	counters = scrape(t, ts)
+	if got := counters[`specd_tier_transitions_total{from="cautious",to="aggressive"}`]; got != 1 {
+		t.Fatalf("re-promotion not published: transitions = %v", counters)
+	}
+	if got := counters["specd_deopt_total"]; got != 1 {
+		t.Fatalf("re-promotion must not count as a deopt, got %v", got)
+	}
+}
+
+// TestEvaluateExplicitFnTiers: explicit fnTiers suppress the adaptive
+// loop (the request names its build), land in the echoed config, and
+// reproduce the CLI's bytes; an unknown tier name is the client's
+// fault.
+func TestEvaluateExplicitFnTiers(t *testing.T) {
+	s := newTestServer(t, Config{Adaptive: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := experiments.EvalRequest{Workload: "drift", FnTiers: map[string]string{"hot": "none"}}
+	resp := postJSON(t, ts, "/evaluate", req)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d %s", resp.StatusCode, body)
+	}
+	want, err := experiments.RunEvalCtx(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := experiments.MarshalEval(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(wantBytes) {
+		t.Errorf("explicit-tier response differs from CLI bytes:\n got %s\nwant %s", body, wantBytes)
+	}
+	if _, ok := s.adaptiveMgrs.Load("drift"); ok {
+		t.Error("explicit-tier request must not start the adaptive loop")
+	}
+
+	resp = postJSON(t, ts, "/evaluate", experiments.EvalRequest{Workload: "drift", FnTiers: map[string]string{"hot": "turbo"}})
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown tier name = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAdaptiveOffNoInjection: without -adaptive the server must serve
+// config-less evaluations exactly as before (no manager, no tier
+// metrics).
+func TestAdaptiveOffNoInjection(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/evaluate", experiments.EvalRequest{Workload: "drift", Args: []int64{256, 2}})
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d %s", resp.StatusCode, body)
+	}
+	if _, ok := s.adaptiveMgrs.Load("drift"); ok {
+		t.Error("adaptive manager created with Adaptive off")
+	}
+}

@@ -41,11 +41,13 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/adaptive"
 	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/specheck"
 	"repro/internal/ssapre"
+	"repro/internal/workloads"
 )
 
 // Config shapes a Server. The zero value is usable: one job per core,
@@ -62,6 +64,16 @@ type Config struct {
 	Timeout time.Duration
 	// Logger receives the request log (nil = log.Default()).
 	Logger *log.Logger
+	// Adaptive enables the online tier-management runtime: evaluations
+	// that name neither a config nor explicit fnTiers are served under
+	// the workload's published tier assignment, their per-function
+	// speculation counters feed the mis-speculation monitor, and tier
+	// changes (verified by specheck before publication) show up in the
+	// specd_tier_transitions_total and specd_deopt_total metrics.
+	Adaptive bool
+	// AdaptivePolicy tunes the monitor's windows and hysteresis; the
+	// zero value uses the adaptive package defaults.
+	AdaptivePolicy adaptive.Policy
 }
 
 // Server handles the specd endpoints. Create with New, serve
@@ -78,6 +90,11 @@ type Server struct {
 	drainOnce sync.Once
 	drain     chan struct{} // closed when draining begins
 	reqSeq    atomic.Uint64
+
+	// adaptiveMgrs lazily holds one tier manager per served workload
+	// (workload name -> *adaptive.Manager); only populated when
+	// Config.Adaptive is set.
+	adaptiveMgrs sync.Map
 }
 
 // New builds a Server from cfg.
@@ -382,14 +399,38 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (any, error
 }
 
 // knownWorkload maps an unregistered workload name to a 400 before the
-// job body runs.
+// job body runs. Resolution includes the hidden kernels: they are
+// servable by name, just absent from GET /workloads.
 func knownWorkload(name string) error {
-	for _, w := range experiments.ListWorkloads() {
-		if w.Name == name {
-			return nil
-		}
+	if _, ok := workloads.Resolve(name); !ok {
+		return badRequestf("unknown workload %q", name)
 	}
-	return badRequestf("unknown workload %q", name)
+	return nil
+}
+
+// adaptiveManager returns (creating on first use) the tier manager for
+// one workload. The manager's build config mirrors RunEvalCtx's
+// default, so the artifact its recompiler verifies is exactly the one
+// a config-less evaluation is served from.
+func (s *Server) adaptiveManager(w workloads.Workload) *adaptive.Manager {
+	if m, ok := s.adaptiveMgrs.Load(w.Name); ok {
+		return m.(*adaptive.Manager)
+	}
+	m := adaptive.NewManager(adaptive.Config{
+		Source: w.Src,
+		Build:  repro.Config{Spec: repro.SpecProfile, ProfileArgs: w.ProfileArgs},
+		Policy: s.cfg.AdaptivePolicy,
+		Logger: s.log,
+		OnTransition: func(tr adaptive.Transition) {
+			s.metrics.countTierTransition(tr.From.String(), tr.To.String(), tr.To > tr.From)
+			s.log.Printf("adaptive: %s %s", w.Name, tr)
+		},
+	})
+	if prev, loaded := s.adaptiveMgrs.LoadOrStore(w.Name, m); loaded {
+		m.Close() // lost the creation race
+		return prev.(*adaptive.Manager)
+	}
+	return m
 }
 
 func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (any, error) {
@@ -399,6 +440,24 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (any, erro
 	}
 	if err := knownWorkload(req.Workload); err != nil {
 		return nil, err
+	}
+	for fn, tier := range req.FnTiers {
+		if _, ok := adaptive.TierByName(tier); !ok {
+			return nil, badRequestf("unknown tier %q for function %q", tier, fn)
+		}
+	}
+	// An evaluation that pins neither a config nor explicit tiers is
+	// adaptive traffic: serve it under the workload's published
+	// assignment and feed its counters back into the monitor. Requests
+	// that pin either are reproductions of a specific build and bypass
+	// both sides of the loop.
+	var mgr *adaptive.Manager
+	var asn *adaptive.Assignment
+	if s.cfg.Adaptive && req.Config == nil && req.FnTiers == nil {
+		w, _ := workloads.Resolve(req.Workload)
+		mgr = s.adaptiveManager(w)
+		asn = mgr.Snapshot()
+		req.FnTiers = asn.Tiers
 	}
 	// mirror RunEvalCtx's config defaulting for the policy counter
 	mode := repro.SpecProfile
@@ -412,6 +471,9 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (any, erro
 	}
 	if err != nil {
 		return nil, err
+	}
+	if mgr != nil {
+		mgr.Observe(asn.Version, res.Result.PerFunc)
 	}
 	s.metrics.addSpec(res.Result.Counters.LoadsRetired, res.Result.Counters.CheckLoads, res.Result.Counters.FailedChecks)
 	// MarshalEval, not a local encoder: the bytes must match the CLI

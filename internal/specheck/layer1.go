@@ -126,7 +126,7 @@ func CheckAnnotated(prog *ir.Program, env *Env, pass string) []Violation {
 // (an update wrongly made ignorable), or a profiled LOC the list lacks
 // entirely.
 func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
-	ar, prof, mode, pol := env.Alias, env.Prof, env.Mode, env.policy()
+	ar, prof := env.Alias, env.Prof
 	var vs []Violation
 	add := func(f *ir.Func, b *ir.Block, rule, format string, args ...any) {
 		vs = append(vs, Violation{
@@ -134,7 +134,10 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 			Rule: rule, Msg: fmt.Sprintf(format, args...),
 		})
 	}
-	expectChi := func(f *ir.Func, b *ir.Block, chis []*ir.Chi, locs profile.LocSet, total uint64, fp bool) {
+	// mode and pol are per function: a re-tiered function (Env.FnOverrides)
+	// must be re-derived under the override the pipeline assigned its
+	// flags with, not the program-wide pair.
+	expectChi := func(f *ir.Func, b *ir.Block, chis []*ir.Chi, locs profile.LocSet, total uint64, mode core.Mode, pol core.Policy, fp bool) {
 		for _, chi := range chis {
 			want := core.SymFlag(f, chi.Sym, locs, total, ar, mode, pol, fp)
 			if chi.Spec != want {
@@ -143,7 +146,7 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 			}
 		}
 	}
-	expectMu := func(f *ir.Func, b *ir.Block, mus []*ir.Mu, locs profile.LocSet, total uint64, fp bool) {
+	expectMu := func(f *ir.Func, b *ir.Block, mus []*ir.Mu, locs profile.LocSet, total uint64, mode core.Mode, pol core.Policy, fp bool) {
 		for _, mu := range mus {
 			want := core.SymFlag(f, mu.Sym, locs, total, ar, mode, pol, fp)
 			if mu.Spec != want {
@@ -185,6 +188,7 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 	}
 
 	for _, f := range prog.Funcs {
+		mode, pol := env.fnModePolicy(f.Name)
 		for _, b := range f.Blocks {
 			for _, st := range b.Stmts {
 				switch t := st.(type) {
@@ -195,7 +199,7 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 						locs := core.LocsFor(prof, mode, t.Site, false)
 						total := core.SiteTotalFor(prof, mode, t.Site)
 						fp := t.LoadsFrom != nil && t.LoadsFrom.IsFloat()
-						expectMu(f, b, t.Mus, locs, total, fp)
+						expectMu(f, b, t.Mus, locs, total, mode, pol, fp)
 						completeMu(f, b, t.Mus, locs)
 					}
 					if t.Dst.Sym.InMemory() {
@@ -216,7 +220,7 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 					locs := core.LocsFor(prof, mode, t.Site, true)
 					total := core.SiteTotalFor(prof, mode, t.Site)
 					fp := t.StoresTo != nil && t.StoresTo.IsFloat()
-					expectChi(f, b, t.Chis, locs, total, fp)
+					expectChi(f, b, t.Chis, locs, total, mode, pol, fp)
 					completeChi(f, b, t.Chis, locs)
 				case *ir.Call:
 					if mode.ProfileGuided() {
@@ -226,9 +230,9 @@ func CheckFlags(prog *ir.Program, env *Env, pass string) []Violation {
 							mod, ref = prof.CallMod[t.Site], prof.CallRef[t.Site]
 							total = core.SiteTotalFor(prof, mode, t.Site)
 						}
-						expectChi(f, b, t.Chis, mod, total, false)
+						expectChi(f, b, t.Chis, mod, total, mode, pol, false)
 						completeChi(f, b, t.Chis, mod)
-						expectMu(f, b, t.Mus, ref, total, false)
+						expectMu(f, b, t.Mus, ref, total, mode, pol, false)
 					} else {
 						for _, chi := range t.Chis {
 							if !chi.Spec {

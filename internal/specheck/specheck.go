@@ -116,6 +116,11 @@ type Env struct {
 	Prof   *profile.Profile
 	Mode   core.Mode
 	Policy core.Policy
+	// FnOverrides mirrors the per-function tier overrides the pipeline
+	// assigned flags with (core.AssignFlagsTiered): functions named here
+	// are re-derived under their own mode and policy instead of
+	// Mode/Policy. Nil when the whole program compiled at one tier.
+	FnOverrides map[string]core.FnOverride
 }
 
 // policy returns the expected-cost policy to re-derive ModeCost flags
@@ -125,4 +130,14 @@ func (e *Env) policy() core.Policy {
 		return core.DefaultPolicy()
 	}
 	return e.Policy
+}
+
+// fnModePolicy returns the (mode, policy) pair the pipeline assigned
+// fn's flags under: its override when re-tiered, the program-wide pair
+// otherwise.
+func (e *Env) fnModePolicy(fn string) (core.Mode, core.Policy) {
+	if ov, ok := e.FnOverrides[fn]; ok {
+		return ov.Mode, ov.Policy
+	}
+	return e.Mode, e.policy()
 }

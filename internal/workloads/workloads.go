@@ -43,6 +43,89 @@ func ByName(name string) (Workload, bool) {
 	return Workload{}, false
 }
 
+// Hidden returns the kernels that are servable by name but excluded
+// from All(), so the §5 report tables and the server's workload listing
+// keep their published shape. drift is the adaptive-tiering exercise
+// kernel: its alias behaviour is an input parameter, which makes it
+// useless for the paper's figures and ideal for mis-speculation drift.
+func Hidden() []Workload {
+	return []Workload{drift()}
+}
+
+// Resolve returns the named kernel, searching the published set first
+// and the hidden set second. Every by-name consumer (the eval API, the
+// machine sweep, the adaptive server) resolves through here.
+func Resolve(name string) (Workload, bool) {
+	if w, ok := ByName(name); ok {
+		return w, true
+	}
+	for _, w := range Hidden() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// drift is the adaptive-tiering kernel: the second argument (mod)
+// controls how often the hot function's stores collide with the
+// promoted global, so serving traffic can drift arbitrarily far from
+// the training input. hot carries a site that aliases 1/mod of the
+// time (1/16 under training) plus a site the training run never sees
+// alias but that collides on half the iterations once mod drops below
+// 4; stable's store target is input-invariant and never aliases, so a
+// policy that gives up speculation program-wide forfeits its win.
+func drift() Workload {
+	return Workload{
+		Name:        "drift",
+		Description: "alias drift kernel for the adaptive tiering runtime (hidden from report tables)",
+		Src: `
+int acc = 0;
+int scratch = 0;
+
+int hot(int n, int mod) {
+	int sum = 0;
+	for (int i = 0; i < n; i++) {
+		int *p;
+		int *r;
+		if (i % mod == 0) { p = &acc; } else { p = &scratch; }
+		if (mod < 4 && i % 2 == 0) { r = &acc; } else { r = &scratch; }
+		int x = acc;
+		*p = x + i;
+		int a = acc;
+		*r = a + i;
+		int y = acc;
+		sum = sum + x + a + y;
+	}
+	return sum;
+}
+
+int stable(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		int *q;
+		if (n < 0) { q = &acc; } else { q = &scratch; }
+		int x = acc;
+		*q = x + i;
+		int y = acc;
+		s = s + x + y;
+	}
+	return s;
+}
+
+int main() {
+	int n = arg(0);
+	int mod = arg(1);
+	int sum = hot(n, mod);
+	sum = sum + stable(n);
+	print(sum);
+	return 0;
+}`,
+		ProfileArgs: []int64{256, 16},
+		RefArgs:     []int64{256, 16},
+	}
+}
+
 // equake models 183.equake's smvp (the paper's §5.1 case study): a sparse
 // matrix-vector product where the compiler cannot separate the matrix A,
 // the input vector v and the output vector w (all come from the shared

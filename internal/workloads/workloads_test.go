@@ -175,3 +175,60 @@ func TestWorkloadInventory(t *testing.T) {
 func contains(s, sub string) bool {
 	return len(s) >= len(sub) && strings.Contains(s, sub)
 }
+
+// TestHiddenWorkloads checks the hidden set stays out of the published
+// inventory (report tables and the server's workload listing depend on
+// its shape) while remaining servable through Resolve, and that drift
+// delivers the alias behaviour the adaptive runtime is tuned around:
+// correct output everywhere, a low failure rate on the training shape,
+// and heavy mis-speculation once the input drifts.
+func TestHiddenWorkloads(t *testing.T) {
+	for _, w := range Hidden() {
+		if _, ok := ByName(w.Name); ok {
+			t.Errorf("hidden kernel %q leaked into the published set", w.Name)
+		}
+		got, ok := Resolve(w.Name)
+		if !ok || got.Name != w.Name {
+			t.Errorf("Resolve(%q) failed", w.Name)
+		}
+	}
+	if _, ok := Resolve("equake"); !ok {
+		t.Error("Resolve must still find published kernels")
+	}
+
+	w, _ := Resolve("drift")
+	cfg := repro.Config{Spec: repro.SpecCost, SpecThreshold: 1, ProfileArgs: w.ProfileArgs}
+	c, err := repro.Compile(w.Src, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rates := make(map[int64]float64)
+	for _, mod := range []int64{16, 2, 64} {
+		args := []int64{256, mod}
+		want, err := c.RunReference(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output != want.Output {
+			t.Errorf("mod=%d output mismatch: got %q want %q", mod, res.Output, want.Output)
+		}
+		hot := res.PerFunc["hot"]
+		if hot.CheckLoads == 0 {
+			t.Fatalf("mod=%d: hot retired no check loads; kernel lost its speculation", mod)
+		}
+		rates[mod] = float64(hot.FailedChecks) / float64(hot.CheckLoads)
+	}
+	if rates[16] > 0.1 {
+		t.Errorf("training-shape failure rate %.3f too high", rates[16])
+	}
+	if rates[2] < 0.25 {
+		t.Errorf("drifted failure rate %.3f too low to trigger demotion", rates[2])
+	}
+	if rates[64] > 0.05 {
+		t.Errorf("recovered failure rate %.3f should look clean", rates[64])
+	}
+}

@@ -150,6 +150,30 @@ type Config struct {
 	// stage. Roughly doubles compile time; meant for CI, debugging and
 	// the `-verify-passes` / speclint surfaces.
 	VerifyPasses bool
+	// FnSpec overrides the speculation tier per function (keyed by
+	// function name): the named function's chi/mu flags are assigned
+	// under its own mode and threshold instead of the program-wide Spec
+	// and SpecThreshold. This is the compile side of adaptive tiering —
+	// the server demotes a mis-speculating function here without
+	// touching the rest of the program. Flag assignment is a per-symbol
+	// decision baked into the IR before the speculative walk runs, so
+	// the override is sound under any profile-guided global Spec; under
+	// SpecOff or SpecHeuristic the global walk mode ignores profile
+	// flags and overrides have no effect. Functions absent from the map
+	// compile at the program-wide tier.
+	FnSpec map[string]FnSpec `json:",omitempty"`
+}
+
+// FnSpec is one function's speculation-tier override (see
+// Config.FnSpec). The zero value means SpecOff: every update flagged,
+// no data speculation in the function.
+type FnSpec struct {
+	// Spec is the function's flag-assignment mode.
+	Spec SpecMode `json:",omitempty"`
+	// SpecThreshold scales the recovery side of the function's
+	// break-even test, exactly as Config.SpecThreshold does globally.
+	// Ignored unless Spec is SpecCost; <=0 means 1.
+	SpecThreshold float64 `json:",omitempty"`
 }
 
 // Compilation is a compiled program plus everything the experiments need.
@@ -444,8 +468,18 @@ func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, erro
 			flagProf = profile.New()
 		}
 		pol := core.PolicyFor(cfg.Machine, cfg.SpecThreshold)
-		core.AssignFlagsPolicy(prog, ar, flagProf, mode, pol)
-		env.Prof, env.Mode, env.Policy = flagProf, mode, pol
+		var fnOv map[string]core.FnOverride
+		if len(cfg.FnSpec) > 0 {
+			fnOv = make(map[string]core.FnOverride, len(cfg.FnSpec))
+			for name, fs := range cfg.FnSpec {
+				fnOv[name] = core.FnOverride{
+					Mode:   fs.Spec.coreMode(),
+					Policy: core.PolicyFor(cfg.Machine, fs.SpecThreshold),
+				}
+			}
+		}
+		core.AssignFlagsTiered(prog, ar, flagProf, mode, pol, fnOv)
+		env.Prof, env.Mode, env.Policy, env.FnOverrides = flagProf, mode, pol, fnOv
 		if cfg.VerifyPasses {
 			if err := verify(specheck.CheckAnnotated(prog, env, "assign-flags")); err != nil {
 				return nil, err
@@ -544,7 +578,7 @@ func TraceEnabled() bool { return !traceDisabled.Load() }
 
 // traceCacheVersion stamps trace cache keys; bump it whenever the
 // trace format or the recorded event set changes.
-const traceCacheVersion = 2
+const traceCacheVersion = 3
 
 // fingerprint returns the compiled program's content hash, computed
 // once per Compilation.
