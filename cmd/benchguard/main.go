@@ -15,7 +15,12 @@
 //     speedups over the fixed-aggressive and fixed-conservative
 //     policies must not DROP by more than the margin. These are
 //     deterministic simulated-cycle ratios, not wall clock, so any
-//     drift at all is a behaviour change worth looking at.
+//     drift at all is a behaviour change worth looking at;
+//   - BENCH_harden.json: the per-(workload, policy) leaky-over-hardened
+//     cycle ratios must not DROP by more than the margin — a drop means
+//     the mitigation pass got more expensive (more fences, or fences
+//     where checks used to hoist). Also deterministic simulated-cycle
+//     ratios.
 //
 // Single-pass CI benchmark numbers are noisy, so the default margin is
 // deliberately wide (25%); the guarded quantities sit far inside it on
@@ -30,6 +35,7 @@
 //	    [-compile-baseline BENCH_compile.baseline.json -compile-fresh BENCH_compile.json] \
 //	    [-fleet-baseline BENCH_fleet.baseline.json -fleet-fresh BENCH_fleet.json] \
 //	    [-adaptive-baseline BENCH_adaptive.baseline.json -adaptive-fresh BENCH_adaptive.json] \
+//	    [-harden-baseline BENCH_harden.baseline.json -harden-fresh BENCH_harden.json] \
 //	    [-max-regress 0.25]
 package main
 
@@ -49,10 +55,12 @@ func main() {
 	fleetFreshPath := flag.String("fleet-fresh", "BENCH_fleet.json", "freshly generated BENCH_fleet.json")
 	adaptiveBaselinePath := flag.String("adaptive-baseline", "", "committed BENCH_adaptive.json to compare against (empty = skip the adaptive guard)")
 	adaptiveFreshPath := flag.String("adaptive-fresh", "BENCH_adaptive.json", "freshly generated BENCH_adaptive.json")
+	hardenBaselinePath := flag.String("harden-baseline", "", "committed BENCH_harden.json to compare against (empty = skip the harden guard)")
+	hardenFreshPath := flag.String("harden-fresh", "BENCH_harden.json", "freshly generated BENCH_harden.json")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional regression (0.25 = 25%)")
 	flag.Parse()
-	if *baselinePath == "" && *compileBaselinePath == "" && *fleetBaselinePath == "" && *adaptiveBaselinePath == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -baseline, -compile-baseline, -fleet-baseline, or -adaptive-baseline is required")
+	if *baselinePath == "" && *compileBaselinePath == "" && *fleetBaselinePath == "" && *adaptiveBaselinePath == "" && *hardenBaselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline, -compile-baseline, -fleet-baseline, -adaptive-baseline, or -harden-baseline is required")
 		os.Exit(2)
 	}
 
@@ -91,6 +99,17 @@ func main() {
 		// "adaptive_vs_conservative"), so the sweep guard applies:
 		// higher is better, a drop beyond the margin fails.
 		ok, err := guardSpeedups(*adaptiveBaselinePath, *adaptiveFreshPath, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		failed = failed || !ok
+	}
+	if *hardenBaselinePath != "" {
+		// BENCH_harden.json's per-(workload, policy) cells carry the
+		// leaky-over-hardened cycle ratio in the same "speedup" shape, so
+		// the sweep guard applies: a drop means hardening got costlier.
+		ok, err := guardSpeedups(*hardenBaselinePath, *hardenFreshPath, *maxRegress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 			os.Exit(2)

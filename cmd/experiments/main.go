@@ -13,9 +13,18 @@
 //	                            # the same point with functions pinned to
 //	                            # adaptive tiers — byte-identical to an
 //	                            # adaptive specd serving that assignment
+//	experiments -exp eval -workload mcf -harden hoist -json
+//	                            # the same point hardened against
+//	                            # speculative leaks — byte-identical to
+//	                            # specd's hardened POST /evaluate
 //	experiments -exp adaptive -json
 //	                            # the drifting-workload run of the adaptive
 //	                            # tiering runtime (BENCH_adaptive.json)
+//	experiments -exp harden -json
+//	                            # the security-vs-speed tradeoff: seeded
+//	                            # speculative leaks closed under the fence
+//	                            # and check-hoist policies, priced by trace
+//	                            # replay (BENCH_harden.json)
 //	experiments -exp corpus -corpus dir/ -json
 //	                            # per-alias-pattern speculation statistics
 //	                            # over a directory of MiniC sources —
@@ -54,10 +63,11 @@ import (
 func main() { cli.Main("experiments", run) }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|threshold|adaptive|eval|corpus")
+	exp := flag.String("exp", "all", "experiment to run: all|smvp|fig10|fig11|fig12|heur|sensitivity|ablation|machine|threshold|adaptive|harden|eval|corpus")
 	workload := flag.String("workload", "equake", "workload for -exp eval")
 	evalArgs := flag.String("args", "", "comma-separated program input for -exp eval (default: the workload's reference input)")
 	fnTiers := flag.String("fn-tiers", "", "comma-separated fn=tier overrides for -exp eval (tiers: aggressive|cautious|profile|none), e.g. hot=none")
+	hardenPol := flag.String("harden", "", "for -exp eval: close speculative leaks post-codegen (fence|hoist)")
 	corpusDir := flag.String("corpus", "", "directory of MiniC sources for -exp corpus")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of a table (-exp eval and -exp corpus)")
 	workers := flag.Int("workers", 0, "max concurrent compilations (0 = all cores, 1 = serial oracle)")
@@ -174,11 +184,32 @@ func run() error {
 		} else if err == nil {
 			experiments.PrintAdaptive(os.Stdout, res)
 		}
+	case "harden":
+		// the security-vs-speed tradeoff: seed an output-neutral
+		// speculative leak at every unchecked speculative load of every
+		// workload, close them under both mitigation policies, prove zero
+		// residual through Layer 3, and price each policy by trace replay
+		// (BENCH_harden.json); any undetected seed or residual leak is an
+		// error, so the run doubles as the hardening smoke gate
+		var res *experiments.HardenResult
+		res, err = experiments.RunHardenCtx(context.Background(), *workers)
+		if err == nil && *jsonOut {
+			var data []byte
+			data, err = experiments.MarshalHarden(res)
+			if err == nil {
+				_, err = os.Stdout.Write(data)
+			}
+		} else if err == nil {
+			experiments.PrintHarden(os.Stdout, res)
+		}
+		if err == nil && res.TotalResidual > 0 {
+			err = fmt.Errorf("%d residual leaks after hardening", res.TotalResidual)
+		}
 	case "eval":
 		// one (workload, config) point through the same code path specd's
 		// POST /evaluate uses; with -json the bytes match the service's
 		// response exactly (the CI smoke job diffs them)
-		err = evalOne(*workload, *evalArgs, *fnTiers, *workers, *jsonOut)
+		err = evalOne(*workload, *evalArgs, *fnTiers, *hardenPol, *workers, *jsonOut)
 	case "corpus":
 		// corpus-scale batch analysis: every MiniC source under -corpus,
 		// aggregated into per-alias-pattern speculation statistics; the
@@ -212,9 +243,10 @@ func run() error {
 // the workload's reference input; fnTiers pins functions to adaptive
 // tiers ("hot=none,aux=cautious"), reproducing the exact build — and
 // with -json the exact bytes — an adaptive server served under that
-// assignment.
-func evalOne(name, args, fnTiers string, workers int, jsonOut bool) error {
-	req := experiments.EvalRequest{Workload: name, Workers: workers}
+// assignment; hardenPol runs the speculative-leak mitigation pass, the
+// CLI twin of the server's "harden" request field.
+func evalOne(name, args, fnTiers, hardenPol string, workers int, jsonOut bool) error {
+	req := experiments.EvalRequest{Workload: name, Workers: workers, Harden: hardenPol}
 	if args != "" {
 		for _, part := range strings.Split(args, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)

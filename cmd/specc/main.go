@@ -15,6 +15,8 @@
 //	-dump-ir                        print the optimized IR
 //	-dump-asm                       print the VM code
 //	-stats                          print optimizer statistics
+//	-harden fence|hoist             close speculative leaks post-codegen
+//	                                (Layer 3 re-verified: zero residual)
 package main
 
 import (
@@ -60,6 +62,7 @@ func run() error {
 	sched := flag.Bool("sched", false, "enable the instruction scheduler")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined (scoreboard) timing model")
 	verify := flag.Bool("verify-passes", false, "run the speculation-soundness checker after every pipeline stage")
+	hardenPol := flag.String("harden", "", "close speculative leaks post-codegen: fence|hoist (empty = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -98,6 +101,12 @@ func run() error {
 	}
 	cfg.Schedule = *sched
 	cfg.VerifyPasses = *verify
+	switch *hardenPol {
+	case "", "fence", "hoist":
+		cfg.Harden = *hardenPol
+	default:
+		return cli.Usagef("unknown -harden %q (want fence or hoist)", *hardenPol)
+	}
 	if *pipelined {
 		cfg.Machine = machine.Defaults()
 		cfg.Machine.Pipelined = true
@@ -116,6 +125,10 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "stats: %d classes, %d eliminated (%d speculative), %d insertions (%d control-spec), %d checks, %d adv loads, %d phis\n",
 			t.ExprClasses, t.Eliminated, t.SpecEliminated, t.Insertions, t.SpecInsertions,
 			t.ChecksInserted, t.AdvLoadsMarked, t.PhisPlaced)
+	}
+	if c.Harden != nil {
+		fmt.Fprintf(os.Stderr, "harden(%s): %d leaks closed (%d fences, %d hoisted checks), %d residual\n",
+			c.Harden.Policy, c.Harden.LeaksFound, c.Harden.FencesInserted, c.Harden.ChecksHoisted, c.Harden.Residual)
 	}
 	if *dumpIR {
 		fmt.Print(c.Prog)

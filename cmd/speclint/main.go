@@ -15,9 +15,16 @@
 //	-workers  N                           pipeline parallelism (0 = all cores)
 //	-mutants                              run the mutation power suite instead:
 //	                                      every seeded soundness bug must be caught
+//	-leaks                                run the Layer 3 speculative-leak sweep
+//	                                      instead: per-site leak table over the
+//	                                      workload × spec-mode matrix
+//	-harden   fence|hoist                 with -leaks: mitigate each leaky build
+//	                                      and re-check (the gate then demands
+//	                                      zero residual rather than zero leaks)
 //
-// Exit status: 0 all clean (or all mutants caught), 1 violations found
-// (or a mutant escaped), 2 usage error.
+// Exit status: 0 all clean (or all mutants caught, or all leaks closed
+// under -harden), 1 violations/leaks found (or a mutant escaped, or a
+// residual leak survived hardening), 2 usage error.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/harden"
 	"repro/internal/specheck"
 	"repro/internal/specheck/mutate"
 	"repro/internal/workloads"
@@ -58,10 +66,20 @@ func run() error {
 	sched := flag.Bool("sched", false, "also verify the instruction scheduler")
 	workers := flag.Int("workers", 0, "pipeline parallelism (0 = all cores)")
 	mutants := flag.Bool("mutants", false, "run the mutation power suite (detection, not cleanliness)")
+	leaksMode := flag.Bool("leaks", false, "run the Layer 3 speculative-leak sweep (per-site leak table)")
+	hardenPol := flag.String("harden", "", "with -leaks: mitigation policy to apply and re-check (fence|hoist)")
 	flag.Parse()
 
 	if *mutants {
 		return runMutants()
+	}
+	if *hardenPol != "" && !*leaksMode {
+		return cli.Usagef("-harden requires -leaks")
+	}
+	if *hardenPol != "" {
+		if _, err := harden.ParsePolicy(*hardenPol); err != nil {
+			return cli.Usagef("%v", err)
+		}
 	}
 
 	var modes []repro.SpecMode
@@ -105,6 +123,14 @@ func run() error {
 		}
 	}
 
+	if *leaksMode {
+		var lus []leakUnit
+		for _, u := range units {
+			lus = append(lus, leakUnit{name: u.name, src: u.src, train: u.train})
+		}
+		return runLeaks(lus, modes, *hardenPol, *sched, *workers)
+	}
+
 	checked, dirty := 0, 0
 	for _, u := range units {
 		for _, mode := range modes {
@@ -134,6 +160,71 @@ func run() error {
 		return &cli.ExitError{Code: 1, Err: fmt.Errorf("%d of %d builds dirty", dirty, checked)}
 	}
 	fmt.Printf("speclint: %d builds verified clean\n", checked)
+	return nil
+}
+
+type leakUnit struct {
+	name  string
+	src   string
+	train []int64
+}
+
+// runLeaks is the Layer 3 surface: it compiles every unit under every
+// requested speculation mode, runs the speculative-leak taint analysis
+// over the generated code, and prints one table row per leak site —
+// the tainting advanced load, the sink it reaches, the sink kind and
+// the unchecked path length. With a -harden policy it then mitigates
+// each leaky build and reports the post-mitigation re-check; the gate
+// becomes zero residual instead of zero leaks.
+func runLeaks(units []leakUnit, modes []repro.SpecMode, pol string, sched bool, workers int) error {
+	checked, leaksTotal, residualTotal := 0, 0, 0
+	fmt.Printf("%-10s %-10s %-14s %6s %6s %-8s %5s\n",
+		"unit", "mode", "func", "load", "sink", "kind", "path")
+	for _, u := range units {
+		for _, mode := range modes {
+			cfg := repro.Config{
+				Spec:        mode,
+				ProfileArgs: u.train,
+				Schedule:    sched,
+				Workers:     workers,
+			}
+			checked++
+			c, err := repro.Compile(u.src, cfg)
+			if err != nil {
+				return fmt.Errorf("%s (spec=%s): %w", u.name, mode, err)
+			}
+			leaks := specheck.FindLeaks(c.Code)
+			leaksTotal += len(leaks)
+			for _, l := range leaks {
+				fmt.Printf("%-10s %-10s %-14s %6d %6d %-8s %5d\n",
+					u.name, mode.String(), l.Fn, l.Load, l.Sink, l.Kind, l.PathLen)
+			}
+			if pol == "" || len(leaks) == 0 {
+				continue
+			}
+			policy, _ := harden.ParsePolicy(pol)
+			hardened := c.Code.Clone()
+			rep, err := harden.Apply(hardened, policy)
+			if err != nil {
+				return fmt.Errorf("%s (spec=%s): %w", u.name, mode, err)
+			}
+			res := len(specheck.FindLeaks(hardened))
+			residualTotal += res
+			fmt.Printf("%-10s %-10s harden(%s): %d closed (%d fences, %d hoisted), %d residual\n",
+				u.name, mode.String(), policy, rep.LeaksFound, rep.FencesInserted, rep.ChecksHoisted, res)
+		}
+	}
+	switch {
+	case pol == "" && leaksTotal > 0:
+		return &cli.ExitError{Code: 1, Err: fmt.Errorf("%d speculative leaks across %d builds", leaksTotal, checked)}
+	case residualTotal > 0:
+		return &cli.ExitError{Code: 1, Err: fmt.Errorf("%d residual leaks after %s hardening", residualTotal, pol)}
+	}
+	if pol != "" && leaksTotal > 0 {
+		fmt.Printf("speclint: %d builds checked, %d leaks all closed by %s\n", checked, leaksTotal, pol)
+	} else {
+		fmt.Printf("speclint: %d builds leak-free\n", checked)
+	}
 	return nil
 }
 

@@ -9,7 +9,9 @@ import (
 	"testing/quick"
 
 	"repro"
+	"repro/internal/harden"
 	"repro/internal/machine"
+	"repro/internal/specheck"
 )
 
 // progGen generates random — but always well-defined — MiniC programs:
@@ -252,6 +254,8 @@ func TestFuzzEquivalence(t *testing.T) {
 		{AggressivePromotion: true},
 		{Spec: repro.SpecProfile, Schedule: true, Machine: pipelined},
 		{AggressivePromotion: true, Machine: tinyALAT},
+		{Spec: repro.SpecProfile, Harden: "fence"},
+		{Spec: repro.SpecHeuristic, Harden: "hoist", Schedule: true, Machine: pipelined},
 	}
 	count := 60
 	if testing.Short() {
@@ -276,6 +280,29 @@ func TestFuzzEquivalence(t *testing.T) {
 			c, err := repro.Compile(src, cfg)
 			if err != nil {
 				t.Fatalf("seed %d cfg %d: compile: %v\n%s", seed, ci, err, src)
+			}
+			// every generated program goes through the Layer 3 leak
+			// analysis; hardened builds must come out leak-free, and
+			// whatever leaks an un-hardened build carries must be
+			// closable by the mitigation pass without changing output
+			leaks := specheck.FindLeaks(c.Code)
+			if cfg.Harden != "" && len(leaks) > 0 {
+				t.Fatalf("seed %d cfg %d: %d residual leaks on hardened build\n%s", seed, ci, len(leaks), src)
+			}
+			if cfg.Harden == "" && len(leaks) > 0 {
+				hardened := c.Code.Clone()
+				if _, err := harden.Apply(hardened, harden.PolicyFence); err != nil {
+					t.Fatalf("seed %d cfg %d: harden: %v\n%s", seed, ci, err, src)
+				}
+				var sb strings.Builder
+				if _, err := machine.Run(hardened, []int64{41}, machine.Defaults(), &sb); err != nil {
+					t.Fatalf("seed %d cfg %d: hardened run: %v\n%s", seed, ci, err, src)
+				}
+				if sb.String() != want[41] {
+					t.Logf("seed %d cfg %d: hardening changed output\n got: %q\nwant: %q\nprogram:\n%s",
+						seed, ci, sb.String(), want[41], src)
+					return false
+				}
 			}
 			for _, input := range []int64{0, 3, 41} {
 				got, err := c.Run([]int64{input})
@@ -458,6 +485,136 @@ func TestSpecheckNearMiss(t *testing.T) {
 					}
 					if got.Output != ref.Output {
 						t.Fatalf("cfg %d input %d: got %q want %q", ci, input, got.Output, ref.Output)
+					}
+				}
+			}
+		})
+	}
+}
+
+// leakNearMissPrograms are hand-seeded sources shaped like speculative
+// leaks — a speculatively-promoted load whose value wants to reach an
+// address computation or a branch — but arranged so a correct pipeline
+// can (and on the bundled compiler, does) keep the sink behind the
+// check: the reuse that feeds the sink sits after the point where the
+// ld.c lands, taint is laundered through arithmetic only after the
+// check, or the tempting path re-loads through a check of its own.
+// They probe the boundary Layer 3 draws; the test accepts either
+// verdict but insists it is consistent — a clean program stays clean,
+// and a leaky placement is fully closable by both mitigation policies
+// with reference output preserved.
+var leakNearMissPrograms = []struct{ name, src string }{
+	{"checked-before-address-sink", `
+int A[16];
+int B[16];
+int main() {
+	int n = arg(0);
+	int *p = &A[5];
+	int total = 0;
+	for (int i = 0; i < n + 6; i++) {
+		int v = A[5];
+		*p = (total + i) % 29;
+		total += B[A[5] & 15] + v;
+	}
+	print(total);
+	return 0;
+}`},
+	{"laundered-after-check", `
+int A[8];
+int main() {
+	int n = arg(0);
+	int *p = &A[2];
+	int total = 0;
+	for (int i = 0; i < n + 5; i++) {
+		int v = A[2];
+		*p = (v + i) % 17;
+		int w = A[2] * 3 + 1;
+		if (w & 1) {
+			total += w;
+		} else {
+			total -= 1;
+		}
+	}
+	print(total);
+	return 0;
+}`},
+	{"one-path-dominating-check", `
+int A[8];
+int main() {
+	int n = arg(0);
+	int *p = &A[4];
+	int total = 0;
+	for (int i = 0; i < n + 6; i++) {
+		int v = A[4];
+		*p = (total ^ i) % 21;
+		if (i & 1) {
+			total += A[4];
+		}
+		total += (A[4] & 7) + v;
+	}
+	print(total);
+	return 0;
+}`},
+}
+
+// TestLeakNearMiss compiles each near-miss leak program under the mode
+// matrix, runs Layer 3 on the generated code, and checks the verdict is
+// actionable: hardened variants of any leaky placement must verify
+// leak-free under BOTH policies and still match the reference output on
+// an input the profile never saw.
+func TestLeakNearMiss(t *testing.T) {
+	modes := []repro.Config{
+		{Spec: repro.SpecOff},
+		{Spec: repro.SpecProfile},
+		{Spec: repro.SpecHeuristic},
+		{AggressivePromotion: true},
+		{Spec: repro.SpecProfile, Schedule: true},
+	}
+	for _, p := range leakNearMissPrograms {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			for ci, cfg := range modes {
+				cfg.ProfileArgs = []int64{2}
+				cfg.VerifyPasses = true
+				c, err := repro.Compile(p.src, cfg)
+				if err != nil {
+					t.Fatalf("cfg %d: %v", ci, err)
+				}
+				ref, err := repro.Reference(p.src, []int64{9})
+				if err != nil {
+					t.Fatalf("reference: %v", err)
+				}
+				got, err := c.Run([]int64{9})
+				if err != nil {
+					t.Fatalf("cfg %d: run: %v", ci, err)
+				}
+				if got.Output != ref.Output {
+					t.Fatalf("cfg %d: got %q want %q", ci, got.Output, ref.Output)
+				}
+				leaks := specheck.FindLeaks(c.Code)
+				if len(leaks) == 0 {
+					continue // clean placement: the common verdict
+				}
+				t.Logf("cfg %d: %d leak(s), e.g. %s", ci, len(leaks), leaks[0])
+				for _, pol := range []harden.Policy{harden.PolicyFence, harden.PolicyHoist} {
+					hardened := c.Code.Clone()
+					rep, err := harden.Apply(hardened, pol)
+					if err != nil {
+						t.Fatalf("cfg %d %s: %v", ci, pol, err)
+					}
+					if res := specheck.FindLeaks(hardened); len(res) > 0 {
+						t.Fatalf("cfg %d %s: %d residual leaks", ci, pol, len(res))
+					}
+					if rep.FencesInserted+rep.ChecksHoisted == 0 {
+						t.Fatalf("cfg %d %s: leaks closed without mitigations?", ci, pol)
+					}
+					var sb strings.Builder
+					if _, err := machine.Run(hardened, []int64{9}, machine.Defaults(), &sb); err != nil {
+						t.Fatalf("cfg %d %s: hardened run: %v", ci, pol, err)
+					}
+					if sb.String() != ref.Output {
+						t.Fatalf("cfg %d %s: hardened output %q want %q", ci, pol, sb.String(), ref.Output)
 					}
 				}
 			}

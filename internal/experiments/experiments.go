@@ -25,6 +25,7 @@ import (
 
 	"repro"
 	"repro/internal/adaptive"
+	"repro/internal/harden"
 	"repro/internal/machine"
 	"repro/internal/par"
 	"repro/internal/ssapre"
@@ -636,6 +637,13 @@ type EvalRequest struct {
 	// CLI can reproduce the bytes with -fn-tiers. Mutually exclusive
 	// with Config.FnSpec (FnTiers wins).
 	FnTiers map[string]string `json:"fnTiers,omitempty"`
+	// Harden applies a speculative-leak mitigation policy ("fence" or
+	// "hoist", see internal/harden) to the generated code. It is a
+	// semantic knob — the hardened build runs slower and leak-free — so
+	// it lands in the echoed config (as Config.Harden), and the
+	// mitigation report rides along in EvalResult.Harden. Overrides
+	// Config.Harden when both are set.
+	Harden string `json:"harden,omitempty"`
 }
 
 // EvalResult is the JSON shape of one evaluation: the request echoed in
@@ -646,6 +654,9 @@ type EvalResult struct {
 	Args     []int64         `json:"args"`
 	Result   *machine.Result `json:"result"`
 	Stats    ssapre.Stats    `json:"stats"`
+	// Harden is the leak-mitigation report for hardened builds (nil
+	// when the request did not ask for hardening).
+	Harden *harden.Report `json:"harden,omitempty"`
 }
 
 // RunEvalCtx compiles and runs one (workload, config) point. The
@@ -675,6 +686,9 @@ func RunEvalCtx(ctx context.Context, req EvalRequest) (*EvalResult, error) {
 	if req.Verify {
 		cfg.VerifyPasses = true
 	}
+	if req.Harden != "" {
+		cfg.Harden = req.Harden
+	}
 	args := req.Args
 	if args == nil {
 		args = w.RefArgs
@@ -699,6 +713,7 @@ func RunEvalCtx(ctx context.Context, req EvalRequest) (*EvalResult, error) {
 		Args:     args,
 		Result:   res,
 		Stats:    c.TotalStats(),
+		Harden:   c.Harden,
 	}, nil
 }
 

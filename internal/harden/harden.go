@@ -1,0 +1,312 @@
+// Package harden closes the speculative leaks found by specheck's
+// Layer 3 taint analysis (internal/specheck/layer3.go). A leak is a
+// sink — a load/store address operand or a conditional-branch
+// condition — that consumes a speculatively-loaded value before its
+// ld.c retires; the mitigation either serializes the sink behind a
+// fence or hoists a duplicate of the web's check so it dominates the
+// sink. Apply iterates analyze→mitigate until Layer 3 reports the
+// program clean, so a successful run is leak-free by construction (and
+// re-verified by the caller: the compile pipeline re-runs both specheck
+// layers on the hardened code when VerifyPasses is set).
+package harden
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/specheck"
+)
+
+// Policy selects the mitigation inserted in front of a leaking sink.
+type Policy string
+
+const (
+	// PolicyFence inserts an OpFence immediately before the sink. The
+	// fence drains the pipeline (serial model: Config.FenceLat cycles;
+	// pipelined model: issue waits for every in-flight result), closing
+	// the speculation window unconditionally. Always applicable, always
+	// converges — and the expensive option.
+	PolicyFence Policy = "fence"
+	// PolicyHoist duplicates the web's ld.c immediately before the sink
+	// so the check dominates it. The original check stays (it becomes a
+	// guaranteed ALAT hit, CheckHitLat each visit), so semantics are
+	// preserved; the duplicate validates-or-reloads at the sink. Only
+	// sound when the checked register's web is undisturbed between the
+	// advanced load and the original check (no redefinition of the
+	// check's registers, no branch entering the region); sinks where it
+	// is not — including every laundered-taint sink, which no single
+	// check can repair — fall back to a fence.
+	PolicyHoist Policy = "hoist"
+)
+
+// ParsePolicy maps a -harden flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyFence, PolicyHoist:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("harden: unknown policy %q (want %q or %q)", s, PolicyFence, PolicyHoist)
+}
+
+// Site records one mitigated sink.
+type Site struct {
+	Fn   string `json:"fn"`
+	Sink int    `json:"sink"` // pre-mitigation instruction index of the sink
+	Kind string `json:"kind"` // "address" or "branch"
+	// Mitigation is "fence" or "hoist" — per-site, since PolicyHoist
+	// falls back to a fence where hoisting is unsound.
+	Mitigation string `json:"mitigation"`
+}
+
+// Report summarizes one hardening run.
+type Report struct {
+	Policy         Policy `json:"policy"`
+	LeaksFound     int    `json:"leaks_found"`
+	FencesInserted int    `json:"fences_inserted"`
+	ChecksHoisted  int    `json:"checks_hoisted"`
+	// Residual is the number of leaks Layer 3 still reports after the
+	// final round; zero for every successful run.
+	Residual int    `json:"residual"`
+	Rounds   int    `json:"rounds"`
+	Sites    []Site `json:"sites,omitempty"`
+}
+
+// maxRounds bounds the analyze→mitigate iteration. Fencing a sink
+// closes it in one round, so the bound is far above anything a real
+// program needs; past the halfway point hoisting gives up and every
+// remaining sink is fenced, which forces convergence.
+const maxRounds = 16
+
+// Apply mitigates every speculative leak in code, in place, under the
+// given policy. It returns a non-nil Report even on error; the error is
+// non-nil only if leaks remain after maxRounds (Residual > 0), which
+// would mean the mitigation transfer function and the analysis
+// disagree — a bug, not an input property.
+func Apply(code *machine.Program, policy Policy) (*Report, error) {
+	rep := &Report{Policy: policy}
+	for round := 1; round <= maxRounds; round++ {
+		leaks := specheck.FindLeaks(code)
+		if len(leaks) == 0 {
+			return rep, nil
+		}
+		rep.Rounds = round
+		rep.LeaksFound += len(leaks)
+		// Past the halfway point, stop trying to hoist: fences always
+		// converge.
+		pol := policy
+		if round > maxRounds/2 {
+			pol = PolicyFence
+		}
+		byFn := map[string][]specheck.Leak{}
+		for _, l := range leaks {
+			byFn[l.Fn] = append(byFn[l.Fn], l)
+		}
+		names := make([]string, 0, len(byFn))
+		for name := range byFn {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			mitigateFunc(code.Funcs[name], byFn[name], pol, rep)
+		}
+	}
+	rep.Residual = len(specheck.FindLeaks(code))
+	if rep.Residual > 0 {
+		return rep, fmt.Errorf("harden: %d leaks residual after %d rounds", rep.Residual, maxRounds)
+	}
+	return rep, nil
+}
+
+// mitigateFunc inserts one mitigation per leaking sink of fc (several
+// leaks can share a sink; the first decides).
+func mitigateFunc(fc *machine.FuncCode, leaks []specheck.Leak, policy Policy, rep *Report) {
+	ins := map[int]machine.Instr{}
+	for _, l := range leaks {
+		if _, done := ins[l.Sink]; done {
+			continue
+		}
+		site := Site{Fn: l.Fn, Sink: l.Sink, Kind: l.Kind, Mitigation: "fence"}
+		mit := machine.Instr{Op: machine.OpFence}
+		if policy == PolicyHoist && l.Direct {
+			if c, ok := hoistableCheck(fc, l); ok {
+				mit = fc.Instrs[c]
+				site.Mitigation = "hoist"
+			}
+		}
+		ins[l.Sink] = mit
+		if site.Mitigation == "hoist" {
+			rep.ChecksHoisted++
+		} else {
+			rep.FencesInserted++
+		}
+		rep.Sites = append(rep.Sites, site)
+	}
+	InsertBefore(fc, ins)
+}
+
+// hoistableCheck finds the check load that can be duplicated in front
+// of leak l's sink, or reports that none can. The duplicate is sound
+// when the first check of l.Reg after the sink still describes the
+// same web at the sink:
+//
+//   - neither the check's address register nor the checked register is
+//     redefined between the advanced load and the check (other than by
+//     the advanced load itself), so the duplicate validates the same
+//     load against the same address;
+//   - every branch landing between the advanced load and the sink
+//     lands where the register is still a provider on ALL incoming
+//     paths (Layer 2's AND-met provider fact) — loop back-edges
+//     qualify, because the advanced load ran before loop entry. A
+//     target where that fails could run the duplicated check without
+//     the advanced load, turning it into a reload that rewrites the
+//     register on a path the original program left alone;
+//   - no store or call sits between the sink and the original check,
+//     so the original check is a guaranteed ALAT hit after the
+//     duplicate re-establishes the entry (the cost model this pass is
+//     priced under).
+func hoistableCheck(fc *machine.FuncCode, l specheck.Leak) (int, bool) {
+	if l.Load < 0 || l.Load >= l.Sink {
+		return 0, false
+	}
+	check := -1
+	for j := l.Sink + 1; j < len(fc.Instrs); j++ {
+		op := fc.Instrs[j].Op
+		if (op == machine.OpLdC || op == machine.OpLdFC) && fc.Instrs[j].Rd == l.Reg {
+			check = j
+			break
+		}
+	}
+	if check < 0 {
+		return 0, false
+	}
+	rs := fc.Instrs[check].Rs
+	for j := l.Load + 1; j < check; j++ {
+		in := fc.Instrs[j]
+		if d := instrDefReg(in); d == l.Reg || d == rs {
+			return 0, false
+		}
+		if j > l.Sink {
+			switch in.Op {
+			case machine.OpSt, machine.OpStF, machine.OpCall:
+				return 0, false
+			}
+		}
+	}
+	var prov []bool
+	for _, in := range fc.Instrs {
+		switch in.Op {
+		case machine.OpBr, machine.OpBeqz, machine.OpBnez:
+			if in.Target > l.Load && in.Target <= l.Sink {
+				if prov == nil {
+					prov = specheck.ProviderAt(fc, l.Reg)
+				}
+				if in.Target >= len(prov) || !prov[in.Target] {
+					return 0, false
+				}
+			}
+		}
+	}
+	return check, true
+}
+
+// instrDefReg mirrors specheck's def query for the opcodes the hoist
+// guard cares about: the register an instruction overwrites, or -1.
+func instrDefReg(in machine.Instr) int {
+	switch in.Op {
+	case machine.OpSt, machine.OpStF, machine.OpBr, machine.OpBeqz, machine.OpBnez,
+		machine.OpRet, machine.OpPrint, machine.OpHalt, machine.OpNop, machine.OpFence:
+		return -1
+	}
+	return in.Rd
+}
+
+// InsertBefore rewrites fc.Instrs, inserting ins[i] immediately before
+// the instruction at old index i, and remaps every original branch
+// target so control transfers land ON the inserted mitigation (no path
+// may bypass it). Inserted instructions' own Target fields are left
+// untouched. It returns the new index of each inserted instruction,
+// keyed by the old index it was inserted before.
+func InsertBefore(fc *machine.FuncCode, ins map[int]machine.Instr) map[int]int {
+	if len(ins) == 0 {
+		return nil
+	}
+	n := len(fc.Instrs)
+	newPos := make([]int, n+1)
+	insertedPos := make(map[int]int, len(ins))
+	out := make([]machine.Instr, 0, n+len(ins))
+	for i := 0; i < n; i++ {
+		if mit, ok := ins[i]; ok {
+			insertedPos[i] = len(out)
+			out = append(out, mit)
+		}
+		newPos[i] = len(out)
+		out = append(out, fc.Instrs[i])
+	}
+	newPos[n] = len(out)
+	inserted := posValues(insertedPos)
+	for i := range out {
+		if _, wasInserted := inserted[i]; wasInserted {
+			continue
+		}
+		switch out[i].Op {
+		case machine.OpBr, machine.OpBeqz, machine.OpBnez:
+			t := out[i].Target
+			if t < 0 || t > n {
+				continue
+			}
+			if p, ok := insertedPos[t]; ok {
+				out[i].Target = p
+			} else {
+				out[i].Target = newPos[t]
+			}
+		}
+	}
+	fc.Instrs = out
+	return insertedPos
+}
+
+// posValues inverts insertedPos into a membership set over new indices.
+func posValues(insertedPos map[int]int) map[int]struct{} {
+	set := make(map[int]struct{}, len(insertedPos))
+	for _, p := range insertedPos {
+		set[p] = struct{}{}
+	}
+	return set
+}
+
+// SeedBranchLeaks plants an output-neutral speculative leak in front of
+// every unchecked speculation site of code: a `bnez r, <next>` on the
+// about-to-be-checked register, inserted immediately before its ld.c.
+// Both branch outcomes land on the check, so program output is
+// unchanged, but the branch condition reads a speculative value that
+// has crossed a store and not yet been validated — a genuine
+// branch-condition leak for Layer 3 to find and the hardening pass to
+// close. Returns the number of leaks planted. Used by the mutation
+// harness's ground truth and by -exp harden to price mitigation
+// policies on leaky builds.
+func SeedBranchLeaks(code *machine.Program) int {
+	seeded := 0
+	names := make([]string, 0, len(code.Funcs))
+	for name := range code.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fc := code.Funcs[name]
+		sites := specheck.UncheckedSpecSites(fc)
+		if len(sites) == 0 {
+			continue
+		}
+		ins := make(map[int]machine.Instr, len(sites))
+		for _, s := range sites {
+			ins[s] = machine.Instr{Op: machine.OpBnez, Rs: fc.Instrs[s].Rd, Target: -1}
+		}
+		insertedPos := InsertBefore(fc, ins)
+		for _, p := range insertedPos {
+			fc.Instrs[p].Target = p + 1
+		}
+		seeded += len(sites)
+	}
+	return seeded
+}

@@ -26,6 +26,10 @@ type Config struct {
 	FPArithLat   int
 	FPDivLat     int
 	CallOverhead int
+	// FenceLat is the cost of an OpFence speculation barrier under the
+	// serial model; under the pipelined model a fence additionally stalls
+	// until every in-flight result has retired (a scoreboard drain).
+	FenceLat     int
 	MaxSteps     int64
 	MaxCallDepth int
 	StackSlots   int
@@ -70,6 +74,7 @@ func (cfg Config) withDefaults() Config {
 	lat(&cfg.FPArithLat, d.FPArithLat)
 	lat(&cfg.FPDivLat, d.FPDivLat)
 	lat(&cfg.CallOverhead, d.CallOverhead)
+	lat(&cfg.FenceLat, d.FenceLat)
 	if cfg.MaxSteps <= 0 {
 		cfg.MaxSteps = d.MaxSteps
 	}
@@ -133,6 +138,9 @@ func Defaults() Config {
 		FPArithLat:   4,
 		FPDivLat:     20,
 		CallOverhead: 2,
+		// a full-pipeline speculation barrier; modelled on the cost of a
+		// srlz.d-style stop that waits out the deepest load latency
+		FenceLat:     8,
 		MaxSteps:     4_000_000_000,
 		MaxCallDepth: 10000,
 		StackSlots:   1 << 20,
@@ -774,6 +782,21 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 			}
 			return 0, false, nil
 
+		case OpFence:
+			lat = int64(m.cfg.FenceLat)
+			if m.cfg.Pipelined {
+				// scoreboard drain: nothing issues past the fence until
+				// every in-flight result has retired
+				for _, t := range ready {
+					if t > issueT {
+						issueT = t
+					}
+				}
+			}
+			if m.trace != nil {
+				m.trace.counts[cFence]++
+			}
+
 		default:
 			return 0, false, m.fault("unknown opcode %v", ins.Op)
 		}
@@ -792,7 +815,7 @@ func (m *vm) call(f *FuncCode, args []uint64) (uint64, bool, error) {
 // pipelined scoreboard).
 func forEachSrc(ins *Instr, visit func(int)) {
 	switch ins.Op {
-	case OpMovI, OpLEA, OpNop, OpHalt, OpBr:
+	case OpMovI, OpLEA, OpNop, OpHalt, OpBr, OpFence:
 		return
 	case OpSt, OpStF:
 		visit(ins.Rd) // address
@@ -820,7 +843,7 @@ func forEachSrc(ins *Instr, visit func(int)) {
 // instrDst returns the destination register of an instruction, or -1.
 func instrDst(ins *Instr) int {
 	switch ins.Op {
-	case OpSt, OpStF, OpBr, OpBeqz, OpBnez, OpRet, OpPrint, OpHalt, OpNop, OpCall:
+	case OpSt, OpStF, OpBr, OpBeqz, OpBnez, OpRet, OpPrint, OpHalt, OpNop, OpCall, OpFence:
 		return -1
 	}
 	return ins.Rd

@@ -81,6 +81,13 @@ const (
 	OpPrint // print operands
 	OpArg   // rd <- host argument rs
 	OpHalt
+	// OpFence is a speculation barrier: architecturally a no-op (it does
+	// not touch memory or the ALAT), but under the pipelined model it
+	// drains the scoreboard — no later instruction issues until every
+	// in-flight result has retired — and under the serial model it costs
+	// Config.FenceLat cycles. The hardening pass (internal/harden)
+	// inserts it in front of speculative-leak sinks.
+	OpFence
 )
 
 var opNames = map[Opcode]string{
@@ -100,6 +107,7 @@ var opNames = map[Opcode]string{
 	OpSt: "st", OpStF: "stf", OpAlloc: "alloc",
 	OpBr: "br", OpBeqz: "beqz", OpBnez: "bnez", OpCall: "call",
 	OpRet: "ret", OpPrint: "print", OpArg: "arg", OpHalt: "halt",
+	OpFence: "fence",
 }
 
 func (o Opcode) String() string {
@@ -159,6 +167,8 @@ func (i Instr) String() string {
 		return fmt.Sprintf("arg r%d, r%d", i.Rd, i.Rs)
 	case OpAlloc:
 		return fmt.Sprintf("alloc r%d, r%d", i.Rd, i.Rs)
+	case OpFence:
+		return "fence"
 	default:
 		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs, i.Rt)
 	}
@@ -197,4 +207,41 @@ func (p *Program) String() string {
 		}
 	}
 	return s
+}
+
+// Clone deep-copies the program: instruction slices, per-instruction
+// ArgRegs/FloatRs, and the global-init map are all fresh, so a pass may
+// rewrite the clone (the hardening pass does) without disturbing the
+// original.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Funcs:    make(map[string]*FuncCode, len(p.Funcs)),
+		GlobSize: p.GlobSize,
+	}
+	if p.GlobalInit != nil {
+		q.GlobalInit = make(map[int]uint64, len(p.GlobalInit))
+		for k, v := range p.GlobalInit {
+			q.GlobalInit[k] = v
+		}
+	}
+	for name, f := range p.Funcs {
+		g := &FuncCode{
+			Name:      f.Name,
+			Instrs:    make([]Instr, len(f.Instrs)),
+			NumRegs:   f.NumRegs,
+			FrameSize: f.FrameSize,
+			NumParams: f.NumParams,
+		}
+		copy(g.Instrs, f.Instrs)
+		for i := range g.Instrs {
+			if ar := g.Instrs[i].ArgRegs; ar != nil {
+				g.Instrs[i].ArgRegs = append([]int(nil), ar...)
+			}
+			if fr := g.Instrs[i].FloatRs; fr != nil {
+				g.Instrs[i].FloatRs = append([]bool(nil), fr...)
+			}
+		}
+		q.Funcs[name] = g
+	}
+	return q
 }

@@ -269,7 +269,7 @@ func replaySerial(t *Trace, cfg Config) Counters {
 		s.missInt*int64(cfg.IntLoadLat+cfg.CheckMissPen) +
 		s.missFP*int64(cfg.FPLoadLat+cfg.CheckMissPen)
 	unit := t.Steps - c[cMul] - c[cDivMod] - c[cFPArith] - c[cFPDiv] -
-		c[cIntLoad] - c[cFPLoad] - checks - c[cStore] - c[cHalt]
+		c[cIntLoad] - c[cFPLoad] - checks - c[cStore] - c[cHalt] - c[cFence]
 	memCycles := c[cIntLoad]*int64(cfg.IntLoadLat) +
 		c[cFPLoad]*int64(cfg.FPLoadLat) +
 		c[cStore]*int64(cfg.StoreLat) +
@@ -280,6 +280,7 @@ func replaySerial(t *Trace, cfg Config) Counters {
 			c[cDivMod]*int64(cfg.IntDivLat) +
 			c[cFPArith]*int64(cfg.FPArithLat) +
 			c[cFPDiv]*int64(cfg.FPDivLat) +
+			c[cFence]*int64(cfg.FenceLat) +
 			t.Frames*int64(cfg.CallOverhead) +
 			memCycles,
 		DataAccessCycles: memCycles,
@@ -345,6 +346,13 @@ func issueTime(ins *Instr, ready []int64, clock int64) int64 {
 	switch ins.Op {
 	case OpMovI, OpLEA, OpNop, OpHalt, OpBr:
 		return issueT
+	case OpFence:
+		// scoreboard drain: waits for every in-flight result
+		for _, v := range ready {
+			if v > issueT {
+				issueT = v
+			}
+		}
 	case OpSt, OpStF:
 		if v := ready[ins.Rd]; v > issueT { // address
 			issueT = v
@@ -411,6 +419,7 @@ func (r *replayer) walk() error {
 	latFPLoad := int64(r.cfg.FPLoadLat)
 	latCheckHit := int64(r.cfg.CheckHitLat)
 	latStore := int64(r.cfg.StoreLat)
+	latFence := int64(r.cfg.FenceLat)
 	missPen := int64(r.cfg.CheckMissPen)
 	for {
 		fr := &r.frames[len(r.frames)-1]
@@ -438,6 +447,8 @@ func (r *replayer) walk() error {
 			lat = latFPArith
 		case OpFDiv:
 			lat = latFPDiv
+		case OpFence:
+			lat = latFence
 
 		case OpLd, OpLdF, OpLdA, OpLdFA:
 			if ins.Op == OpLdF || ins.Op == OpLdFA {

@@ -121,6 +121,7 @@ type batchWalker struct {
 	latFPLoad  []int64
 	latCheck   []int64 // scratch: per-lane check latency, filled per event
 	latStore   []int64
+	latFence   []int64
 	callOv     []int64
 
 	// ALAT outcomes, deduplicated by capacity: one memoized summary
@@ -161,6 +162,7 @@ func batchWalk(prog *Program, t *Trace, cfgs []Config) ([]int64, error) {
 		latFPLoad:  make([]int64, k),
 		latCheck:   make([]int64, k),
 		latStore:   make([]int64, k),
+		latFence:   make([]int64, k),
 		callOv:     make([]int64, k),
 
 		cfgAlat: make([]int, k),
@@ -177,6 +179,7 @@ func batchWalk(prog *Program, t *Trace, cfgs []Config) ([]int64, error) {
 		w.latIntLoad[i] = int64(cfg.IntLoadLat)
 		w.latFPLoad[i] = int64(cfg.FPLoadLat)
 		w.latStore[i] = int64(cfg.StoreLat)
+		w.latFence[i] = int64(cfg.FenceLat)
 		w.callOv[i] = int64(cfg.CallOverhead)
 		si, ok := sizeIdx[cfg.ALATSize]
 		if !ok {
@@ -245,6 +248,11 @@ func (w *batchWalker) issueTimes(ins *Instr, ready []int64) {
 	}
 	switch ins.Op {
 	case OpMovI, OpLEA, OpNop, OpHalt, OpBr:
+	case OpFence:
+		// scoreboard drain: every register's lanes gate the issue time
+		for reg := 0; reg < len(ready)/k; reg++ {
+			maxReg(reg)
+		}
 	case OpSt, OpStF:
 		maxReg(ins.Rd) // address
 		maxReg(ins.Rs) // value
@@ -320,6 +328,8 @@ func (w *batchWalker) walk(cfgs []Config) error {
 			lats = w.latFPArith
 		case OpFDiv:
 			lats = w.latFPDiv
+		case OpFence:
+			lats = w.latFence
 
 		case OpLd, OpLdF, OpLdA, OpLdFA:
 			// advanced-load ALAT inserts are part of the memoized event

@@ -193,6 +193,7 @@ const (
 	cSpec      // speculative loads retired
 	cSpecFault // deferred speculative faults
 	cAdv       // advanced loads retired (ALAT inserts)
+	cFence     // speculation barriers (OpFence)
 	cNumClasses
 )
 
@@ -297,8 +298,10 @@ func Record(prog *Program, args []int64, cfg Config) (*Trace, error) {
 // the stream layout or the event set changes (v2 added event kinds,
 // activation/register fields, and the latency-class counts; v3 added
 // the function-name table and a per-event function index for
-// per-function counter attribution).
-const traceMagic = "reprotrace v3"
+// per-function counter attribution; v4 added the fence latency class —
+// the counts are serialized by index, so the class set is part of the
+// format).
+const traceMagic = "reprotrace v4"
 
 // Marshal serializes the trace for spilling through internal/cache
 // (ALAT events are varint-encoded with activation ids delta-coded; the

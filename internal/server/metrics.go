@@ -41,6 +41,12 @@ type metrics struct {
 	// since it means the pipeline produced unsound speculation).
 	specheckVerified   atomic.Int64
 	specheckViolations atomic.Int64
+
+	// hardening counters: Layer 3 leaks found (and closed — hardened
+	// compiles fail rather than ship a residual leak) and fences
+	// inserted across every served request that asked for hardening.
+	leaksFound     atomic.Int64
+	fencesInserted atomic.Int64
 }
 
 // reqKey labels one requests_total series.
@@ -249,6 +255,8 @@ func (m *metrics) write(w io.Writer) {
 		{"specd_specheck_verified_total", "Compilations that ran the speculation-soundness checker and passed.", m.specheckVerified.Load()},
 		{"specd_specheck_violations_total", "Speculation-soundness violations reported by verify-enabled compilations (nonzero means the pipeline produced unsound speculation).", m.specheckViolations.Load()},
 		{"specd_deopt_total", "Published adaptive demotions: functions moved to a less speculative tier after observed mis-speculation.", m.deopts.Load()},
+		{"specd_leaks_found_total", "Speculative leaks found (and closed) by the Layer 3 taint analysis across hardened requests.", m.leaksFound.Load()},
+		{"specd_fences_inserted_total", "Fences inserted by the hardening pass across hardened requests.", m.fencesInserted.Load()},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 	}

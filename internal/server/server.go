@@ -44,6 +44,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/harden"
 	"repro/internal/machine"
 	"repro/internal/specheck"
 	"repro/internal/ssapre"
@@ -342,26 +343,42 @@ func (s *Server) countSpecheck(err error) {
 	}
 }
 
+// countHarden folds one hardened build's report into the leak and fence
+// counters. A nil report (no hardening requested) is a no-op.
+func (s *Server) countHarden(rep *harden.Report) {
+	if rep == nil {
+		return
+	}
+	s.metrics.leaksFound.Add(int64(rep.LeaksFound))
+	s.metrics.fencesInserted.Add(int64(rep.FencesInserted))
+}
+
 // CompileRequest is POST /compile's body: raw MiniC source plus an
 // optional build config. Verify runs the per-pass speculation-soundness
 // checker during the build (also reachable as config.VerifyPasses); a
 // violation fails the request and shows up in the
-// specd_specheck_violations_total counter.
+// specd_specheck_violations_total counter. Harden runs the
+// speculative-leak mitigation pass ("fence" or "hoist", also reachable
+// as config.Harden); leaks found and fences inserted land in the
+// specd_leaks_found_total / specd_fences_inserted_total counters.
 type CompileRequest struct {
 	Source  string        `json:"source"`
 	Config  *repro.Config `json:"config,omitempty"`
 	Workers int           `json:"workers,omitempty"`
 	Verify  bool          `json:"verify,omitempty"`
+	Harden  string        `json:"harden,omitempty"`
 }
 
 // CompileResponse reports what the pipeline did: per-build optimizer
-// statistic totals and the profiling failure, if any (compilation
-// still succeeds under the static-estimate fallback; the caller
-// decides whether that is fatal).
+// statistic totals, the hardening report when a policy was requested,
+// and the profiling failure, if any (compilation still succeeds under
+// the static-estimate fallback; the caller decides whether that is
+// fatal).
 type CompileResponse struct {
-	Functions  int          `json:"functions"`
-	Stats      ssapre.Stats `json:"stats"`
-	ProfileErr string       `json:"profileErr,omitempty"`
+	Functions  int            `json:"functions"`
+	Stats      ssapre.Stats   `json:"stats"`
+	Harden     *harden.Report `json:"harden,omitempty"`
+	ProfileErr string         `json:"profileErr,omitempty"`
 }
 
 func (s *Server) handleCompile(ctx context.Context, r *http.Request) (any, error) {
@@ -380,6 +397,12 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (any, error
 	if req.Verify {
 		cfg.VerifyPasses = true
 	}
+	if req.Harden != "" {
+		if _, err := harden.ParsePolicy(req.Harden); err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		cfg.Harden = req.Harden
+	}
 	s.metrics.countSpecPolicy(cfg.Spec)
 	c, err := repro.CompileCtx(ctx, req.Source, cfg)
 	if cfg.VerifyPasses {
@@ -388,9 +411,11 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (any, error
 	if err != nil {
 		return nil, err
 	}
+	s.countHarden(c.Harden)
 	resp := &CompileResponse{
 		Functions: len(c.Prog.Funcs),
 		Stats:     c.TotalStats(),
+		Harden:    c.Harden,
 	}
 	if c.ProfileErr != nil {
 		resp.ProfileErr = c.ProfileErr.Error()
@@ -475,6 +500,7 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (any, erro
 	if mgr != nil {
 		mgr.Observe(asn.Version, res.Result.PerFunc)
 	}
+	s.countHarden(res.Harden)
 	s.metrics.addSpec(res.Result.Counters.LoadsRetired, res.Result.Counters.CheckLoads, res.Result.Counters.FailedChecks)
 	// MarshalEval, not a local encoder: the bytes must match the CLI
 	return experiments.MarshalEval(res)

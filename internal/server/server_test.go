@@ -391,6 +391,95 @@ func TestEvaluateByteIdentical(t *testing.T) {
 	}
 }
 
+// TestEvaluateHardenedByteIdentical extends the byte-identity contract
+// to hardened builds: POST /evaluate with harden:"fence" must return
+// exactly the bytes the CLI path produces for the same hardened
+// request (including the embedded harden report), and the served
+// request must show up in the hardening counters.
+func TestEvaluateHardenedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and times a workload")
+	}
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wantLeaks, wantFences float64
+	for _, pol := range []string{"fence", "hoist"} {
+		req := experiments.EvalRequest{Workload: "mcf", Harden: pol}
+		res, err := experiments.RunEvalCtx(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := experiments.MarshalEval(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Harden == nil {
+			t.Fatalf("%s: CLI result carries no harden report", pol)
+		}
+		if res.Harden.Residual != 0 {
+			t.Fatalf("%s: hardened build has %d residual leaks", pol, res.Harden.Residual)
+		}
+		wantLeaks += float64(res.Harden.LeaksFound)
+		wantFences += float64(res.Harden.FencesInserted)
+
+		resp := postJSON(t, ts, "/evaluate", req)
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: evaluate = %d %q", pol, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("%s: server bytes differ from CLI bytes:\nserver: %s\ncli:    %s", pol, body, want)
+		}
+	}
+
+	// the counters must render (even at zero: bundled workloads are
+	// leak-free by construction) and agree with the served reports
+	counters := scrape(t, ts)
+	for name, want := range map[string]float64{
+		"specd_leaks_found_total":     wantLeaks,
+		"specd_fences_inserted_total": wantFences,
+	} {
+		got, ok := counters[name]
+		if !ok {
+			t.Errorf("%s missing from /metrics", name)
+		} else if got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+}
+
+// TestCompileHarden checks the /compile surface of the hardening pass:
+// a bad policy is a 400, a good one returns the report in the response.
+func TestCompileHarden(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const src = `int g = 0; int main() { g = 7; print(g); return 0; }`
+	resp := postJSON(t, ts, "/compile", CompileRequest{Source: src, Harden: "lfence"})
+	if body := readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy = %d %q, want 400", resp.StatusCode, body)
+	}
+
+	resp = postJSON(t, ts, "/compile", CompileRequest{Source: src, Harden: "fence"})
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile = %d %q", resp.StatusCode, body)
+	}
+	var cr CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Harden == nil {
+		t.Fatalf("hardened compile response carries no report: %s", body)
+	}
+	if cr.Harden.Residual != 0 {
+		t.Fatalf("residual leaks in hardened compile: %+v", cr.Harden)
+	}
+}
+
 // TestSweepEndpoint drives POST /sweep over a tiny explicit grid and
 // checks the points are index-aligned with the request.
 func TestSweepEndpoint(t *testing.T) {

@@ -256,14 +256,11 @@ func CheckMachine(code *machine.Program, pass string) []Violation {
 	return vs
 }
 
-func checkFuncCode(fc *machine.FuncCode, pass string) []Violation {
-	n := len(fc.Instrs)
-	if n == 0 {
-		return nil
-	}
+// funcNumRegs returns the effective register-file size of fc: the
+// declared NumRegs widened to cover any out-of-range register index an
+// instruction mentions (a retargeted check can point outside the file).
+func funcNumRegs(fc *machine.FuncCode) int {
 	nregs := fc.NumRegs
-	// register indices in instructions must stay inside the declared
-	// register file; a retargeted check can point outside it
 	maxReg := func(in machine.Instr) int {
 		m := instrDef(in)
 		for _, r := range instrReads(in) {
@@ -278,17 +275,18 @@ func checkFuncCode(fc *machine.FuncCode, pass string) []Violation {
 			nregs = m + 1
 		}
 	}
+	return nregs
+}
 
-	// hasCheck[r]: the function contains at least one ld.c targeting r —
-	// the web-level evidence that PRE placed this register's checks (their
-	// positions are judged by the IR layer, which has the alias classes)
-	hasCheck := make([]bool, nregs)
-	for _, in := range fc.Instrs {
-		if isCheck(in.Op) && in.Rd >= 0 && in.Rd < nregs {
-			hasCheck[in.Rd] = true
-		}
+// flowStates runs the Layer 2 forward dataflow to its fixpoint and
+// returns the per-instruction in-states (nil for unreachable
+// instructions). Layer 3 and the mutation/hardening site enumeration
+// reuse it.
+func flowStates(fc *machine.FuncCode, nregs int) []*regState {
+	n := len(fc.Instrs)
+	if n == 0 {
+		return nil
 	}
-
 	succs := instrSuccs(fc)
 	in := make([]*regState, n)
 	in[0] = newRegState(nregs)
@@ -310,6 +308,27 @@ func checkFuncCode(fc *machine.FuncCode, pass string) []Violation {
 			}
 		}
 	}
+	return in
+}
+
+func checkFuncCode(fc *machine.FuncCode, pass string) []Violation {
+	n := len(fc.Instrs)
+	if n == 0 {
+		return nil
+	}
+	nregs := funcNumRegs(fc)
+
+	// hasCheck[r]: the function contains at least one ld.c targeting r —
+	// the web-level evidence that PRE placed this register's checks (their
+	// positions are judged by the IR layer, which has the alias classes)
+	hasCheck := make([]bool, nregs)
+	for _, in := range fc.Instrs {
+		if isCheck(in.Op) && in.Rd >= 0 && in.Rd < nregs {
+			hasCheck[in.Rd] = true
+		}
+	}
+
+	in := flowStates(fc, nregs)
 
 	var vs []Violation
 	add := func(i int, rule, format string, args ...any) {

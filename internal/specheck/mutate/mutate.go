@@ -1,8 +1,9 @@
 // Package mutate seeds speculation-soundness bugs into the real
 // pipeline's intermediate programs — deleted checks, retargeted check
 // registers, dropped χs, corrupted phi arguments, loads hoisted past
-// aliasing stores — and pairs each mutation with the specheck layer
-// that must catch it. The companion test asserts that every mutator is
+// aliasing stores, and leak-shaped reorderings that let a speculative
+// value reach an address computation or branch before its check — and
+// pairs each mutation with the specheck layer that must catch it. The companion test asserts that every mutator is
 // applicable somewhere on the bundled workloads, that the checker flags
 // every single application, and that the unmutated pipeline stays
 // clean. It is the detection half of the verifier's own verification:
@@ -16,6 +17,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/harden"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/machine"
@@ -146,7 +148,8 @@ func (t *Target) Check(before specheck.MemOrder) []specheck.Violation {
 	case StageSchedule:
 		return specheck.CheckSchedule(t.Prog, before, pass)
 	case StageMachine:
-		return specheck.CheckMachine(t.Code, pass)
+		vs := specheck.CheckMachine(t.Code, pass)
+		return append(vs, specheck.CheckLeaks(t.Code, pass)...)
 	}
 	return nil
 }
@@ -382,6 +385,26 @@ func checkWebs(code *machine.Program) []checkWeb {
 		}
 	}
 	return webs
+}
+
+// leakSites enumerates, in sorted-name program order, the unchecked
+// speculation sites of every function: ld.c/ldf.c instructions whose
+// in-state is provider ∧ crossed ∧ ¬validated on the checked register —
+// the exact points where sliding a consumer above the check (or
+// removing the check) manufactures a speculative leak. The leak-shaped
+// mutators below are all seeded here, so each one is a guaranteed true
+// positive for Layer 3 by construction. Mutants are analyzed, never
+// executed, so mutations may fabricate loads whose address register
+// holds a non-address value.
+func leakSites(code *machine.Program) []machineSite {
+	var sites []machineSite
+	for _, name := range sortedFuncNames(code) {
+		fc := code.Funcs[name]
+		for _, i := range specheck.UncheckedSpecSites(fc) {
+			sites = append(sites, machineSite{fc, i})
+		}
+	}
+	return sites
 }
 
 func sortedFuncNames(code *machine.Program) []string {
@@ -656,6 +679,54 @@ func All() []*Mutator {
 			Apply: func(t *Target, site int) {
 				s := checkInstrs(t.Code)[site]
 				s.fn.Instrs[s.instr].Rd = s.fn.NumRegs + 7
+			},
+		},
+		{
+			Name: "reorder-sink-above-check", Stage: StageMachine,
+			Doc: "slides a branch sink on the speculative register to just above its ld.c, as a buggy scheduler would — the condition reads a value a store has crossed and nothing has validated; caught by speculative-leak",
+			Sites: func(t *Target) int {
+				return len(leakSites(t.Code))
+			},
+			Apply: func(t *Target, site int) {
+				s := leakSites(t.Code)[site]
+				pos := harden.InsertBefore(s.fn, map[int]machine.Instr{
+					s.instr: {Op: machine.OpBnez, Rs: s.fn.Instrs[s.instr].Rd, Target: -1},
+				})
+				p := pos[s.instr]
+				s.fn.Instrs[p].Target = p + 1
+			},
+		},
+		{
+			Name: "delete-check-address-sink", Stage: StageMachine,
+			Doc: "replaces a ld.c with a plain load ADDRESSED BY the speculative register — the check vanishes and the unvalidated value steers memory traffic in the same breath; caught by speculative-leak",
+			Sites: func(t *Target) int {
+				return len(leakSites(t.Code))
+			},
+			Apply: func(t *Target, site int) {
+				s := leakSites(t.Code)[site]
+				fresh := s.fn.NumRegs
+				s.fn.NumRegs++
+				s.fn.Instrs[s.instr] = machine.Instr{Op: machine.OpLd, Rd: fresh, Rs: s.fn.Instrs[s.instr].Rd}
+			},
+		},
+		{
+			Name: "retarget-check-past-sink", Stage: StageMachine,
+			Doc: "moves a ld.c onto a fresh register and drops a branch on the original register just below it — the consumer now sits past a check that no longer validates what it reads; caught by speculative-leak (and check-without-provider for the stray check)",
+			Sites: func(t *Target) int {
+				return len(leakSites(t.Code))
+			},
+			Apply: func(t *Target, site int) {
+				s := leakSites(t.Code)[site]
+				rd := s.fn.Instrs[s.instr].Rd
+				fresh := s.fn.NumRegs
+				s.fn.NumRegs++
+				s.fn.Instrs[s.instr].Rd = fresh
+				after := s.instr + 1
+				pos := harden.InsertBefore(s.fn, map[int]machine.Instr{
+					after: {Op: machine.OpBnez, Rs: rd, Target: -1},
+				})
+				p := pos[after]
+				s.fn.Instrs[p].Target = p + 1
 			},
 		},
 	}

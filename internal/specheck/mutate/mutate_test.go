@@ -1,8 +1,11 @@
 package mutate
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/harden"
+	"repro/internal/specheck"
 	"repro/internal/workloads"
 )
 
@@ -70,5 +73,91 @@ func TestEveryMutantDetected(t *testing.T) {
 				t.Fatalf("mutator never applicable on any workload — the suite has a blind spot")
 			}
 		})
+	}
+}
+
+// TestLeakMutantsClosedByHardening closes the loop on the leak-shaped
+// mutators: every seeded leak must not only be detected (covered by
+// TestEveryMutantDetected) but be reported under the speculative-leak
+// rule specifically, and the mitigation pass must drive the mutant back
+// to a Layer-3-clean program under both policies. The unmutated builds
+// must be leak-clean too — hardening them is a no-op.
+func TestLeakMutantsClosedByHardening(t *testing.T) {
+	leakMutators := map[string]bool{
+		"reorder-sink-above-check":  true,
+		"delete-check-address-sink": true,
+		"retarget-check-past-sink":  true,
+	}
+	for _, w := range benchSources(t) {
+		clean, err := Build(w.Src, w.ProfileArgs, StageMachine)
+		if err != nil {
+			t.Fatalf("%s: build: %v", w.Name, err)
+		}
+		if leaks := specheck.FindLeaks(clean.Code); len(leaks) > 0 {
+			t.Fatalf("%s: unmutated build leaks: %v", w.Name, leaks[0])
+		}
+		for _, pol := range []harden.Policy{harden.PolicyFence, harden.PolicyHoist} {
+			noop := clean.Code.Clone()
+			rep, err := harden.Apply(noop, pol)
+			if err != nil {
+				t.Fatalf("%s %s: %v", w.Name, pol, err)
+			}
+			if rep.FencesInserted+rep.ChecksHoisted != 0 {
+				t.Fatalf("%s %s: hardening a clean build inserted mitigations: %+v", w.Name, pol, rep)
+			}
+		}
+	}
+	for _, m := range All() {
+		if !leakMutators[m.Name] {
+			continue
+		}
+		delete(leakMutators, m.Name)
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			applied := 0
+			for _, w := range benchSources(t) {
+				probe, err := Build(w.Src, w.ProfileArgs, m.Stage)
+				if err != nil {
+					t.Fatalf("%s: build: %v", w.Name, err)
+				}
+				sites := m.Sites(probe)
+				for site := 0; site < sites; site++ {
+					tgt, err := Build(w.Src, w.ProfileArgs, m.Stage)
+					if err != nil {
+						t.Fatalf("%s: rebuild: %v", w.Name, err)
+					}
+					m.Apply(tgt, site)
+					vs := specheck.CheckLeaks(tgt.Code, "mutant")
+					if len(vs) == 0 {
+						t.Errorf("%s site %d: seeded leak escaped Layer 3 (%s)", w.Name, site, m.Doc)
+						continue
+					}
+					for _, v := range vs {
+						if v.Rule != "speculative-leak" {
+							t.Errorf("%s site %d: unexpected rule %q: %s", w.Name, site, v.Rule, v.Msg)
+						}
+						if !strings.Contains(v.Msg, "sink") {
+							t.Errorf("%s site %d: message lacks sink context: %s", w.Name, site, v.Msg)
+						}
+					}
+					applied++
+					for _, pol := range []harden.Policy{harden.PolicyFence, harden.PolicyHoist} {
+						mutant := tgt.Code.Clone()
+						if _, err := harden.Apply(mutant, pol); err != nil {
+							t.Fatalf("%s site %d %s: %v", w.Name, site, pol, err)
+						}
+						if res := specheck.FindLeaks(mutant); len(res) > 0 {
+							t.Errorf("%s site %d %s: %d residual leaks after hardening", w.Name, site, pol, len(res))
+						}
+					}
+				}
+			}
+			if applied == 0 {
+				t.Fatalf("leak mutator never applicable — the suite has a blind spot")
+			}
+		})
+	}
+	for name := range leakMutators {
+		t.Errorf("leak mutator %s missing from All()", name)
 	}
 }

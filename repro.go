@@ -27,6 +27,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/harden"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/machine"
@@ -150,6 +151,16 @@ type Config struct {
 	// stage. Roughly doubles compile time; meant for CI, debugging and
 	// the `-verify-passes` / speclint surfaces.
 	VerifyPasses bool
+	// Harden selects a speculative-leak mitigation policy ("fence" or
+	// "hoist", see internal/harden) applied to the generated code after
+	// codegen: every sink specheck's Layer 3 taint analysis reports — a
+	// load/store address or branch condition fed by a
+	// speculatively-loaded, not-yet-checked value — is closed by a
+	// fence or a hoisted duplicate check, and Layer 3 is re-run to
+	// prove zero residual leaks (a residual is a compile error). Empty
+	// means no hardening. The mitigation changes generated code, so it
+	// participates in trace fingerprints and cache keys automatically.
+	Harden string `json:",omitempty"`
 	// FnSpec overrides the speculation tier per function (keyed by
 	// function name): the named function's chi/mu flags are assigned
 	// under its own mode and threshold instead of the program-wide Spec
@@ -193,6 +204,10 @@ type Compilation struct {
 	// profile-guided measurements are meaningless under it, so the
 	// experiments treat a non-nil ProfileErr as fatal.
 	ProfileErr error
+	// Harden reports what the leak-mitigation pass did (nil unless
+	// Config.Harden was set): leaks found, fences inserted, checks
+	// hoisted, and the residual count (always zero on success).
+	Harden *harden.Report `json:",omitempty"`
 
 	fpOnce sync.Once
 	fp     [32]byte // lazily computed Code fingerprint for trace keying
@@ -547,6 +562,27 @@ func CompileCtx(ctx context.Context, src string, cfg Config) (*Compilation, erro
 			return nil, err
 		}
 	}
+	if cfg.Harden != "" {
+		pol, err := harden.ParsePolicy(cfg.Harden)
+		if err != nil {
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+		rep, err := harden.Apply(code, pol)
+		if err != nil {
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+		c.Harden = rep
+		// prove zero residual leaks on every hardened build, verified
+		// pipeline or not; a violation here is a mitigation bug
+		if err := verify(specheck.CheckLeaks(code, "harden")); err != nil {
+			return nil, err
+		}
+		if cfg.VerifyPasses {
+			if err := verify(specheck.CheckMachine(code, "harden")); err != nil {
+				return nil, err
+			}
+		}
+	}
 	c.Code = code
 	return c, nil
 }
@@ -578,7 +614,7 @@ func TraceEnabled() bool { return !traceDisabled.Load() }
 
 // traceCacheVersion stamps trace cache keys; bump it whenever the
 // trace format or the recorded event set changes.
-const traceCacheVersion = 3
+const traceCacheVersion = 4
 
 // fingerprint returns the compiled program's content hash, computed
 // once per Compilation.
